@@ -1,0 +1,55 @@
+"""Experiment ``perf-clients`` — cost of each optimization client and of
+the full driver pipeline on a mid-size mixed workload."""
+
+import pytest
+
+from repro import analyze, build_pfg, optimize
+from repro.analysis import (
+    compute_ud_chains,
+    find_anomalies,
+    find_common_subexpressions,
+    find_copy_propagations,
+    find_dead_code,
+    find_induction_variables,
+    lint_synchronization,
+    propagate_constants,
+    solve_liveness,
+)
+from repro.analysis.availexpr import solve_available_expressions
+from repro.synthetic import random_mix
+
+PROGRAM = random_mix(seed=5, n_stmts=250)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    graph = build_pfg(PROGRAM)
+    result = analyze(PROGRAM)
+    return graph, result
+
+
+CLIENTS = {
+    "ud-chains": lambda g, r: compute_ud_chains(r),
+    "anomalies": lambda g, r: find_anomalies(r),
+    "constants": lambda g, r: propagate_constants(r),
+    "induction": lambda g, r: find_induction_variables(r),
+    "dead-code": lambda g, r: find_dead_code(r),
+    "copy-prop": lambda g, r: find_copy_propagations(r),
+    "cse": lambda g, r: find_common_subexpressions(r),
+    "sync-lint": lambda g, r: lint_synchronization(g),
+    "liveness": lambda g, r: solve_liveness(g),
+    "avail-expr": lambda g, r: solve_available_expressions(g),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CLIENTS))
+def test_client_cost(benchmark, prepared, name):
+    graph, result = prepared
+    out = benchmark(CLIENTS[name], graph, result)
+    assert out is not None
+
+
+def test_full_driver(benchmark):
+    report = benchmark(optimize, PROGRAM)
+    assert report.result.stats.converged
+    assert report.opportunity_count()

@@ -1,0 +1,43 @@
+"""Experiment ``ext-cssa`` — the paper's §7 future work, measured:
+Concurrent SSA construction (φ/ψ/π placement + renaming) on the paper
+programs and on scaling workloads."""
+
+import pytest
+
+from repro import build_pfg
+from repro.cssa import MergeKind, build_cssa
+from repro.synthetic import diamond_chain, random_mix, wide_parallel
+
+
+@pytest.mark.parametrize("key", ["fig1a", "fig6", "fig3"])
+def test_cssa_paper_programs(benchmark, key, paper_graphs):
+    graph = paper_graphs[key]
+    form = benchmark(build_cssa, graph)
+    kinds = {m.kind for m in form.merges.values()}
+    if key == "fig1a":
+        assert kinds == {MergeKind.PHI}
+    if key == "fig6":
+        assert MergeKind.PSI in kinds and MergeKind.PHI in kinds
+    if key == "fig3":
+        assert MergeKind.PI in kinds
+
+
+@pytest.mark.parametrize("n", [20, 80])
+def test_cssa_scaling_diamonds(benchmark, n):
+    graph = build_pfg(diamond_chain(n))
+    form = benchmark(build_cssa, graph)
+    phis = [m for m in form.merges.values() if m.kind is MergeKind.PHI]
+    assert len(phis) >= n  # one φ per diamond for x (plus header effects)
+
+
+@pytest.mark.parametrize("k", [4, 16])
+def test_cssa_scaling_wide(benchmark, k):
+    graph = build_pfg(wide_parallel(k, 4))
+    form = benchmark(build_cssa, graph)
+    assert any(m.kind is MergeKind.PSI for m in form.merges.values())
+
+
+def test_cssa_scaling_mix(benchmark):
+    graph = build_pfg(random_mix(seed=13, n_stmts=300))
+    form = benchmark(build_cssa, graph)
+    assert form.def_versions

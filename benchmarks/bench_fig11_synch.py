@@ -1,0 +1,42 @@
+"""Experiment ``fig11_12`` — regenerate Figures 11 and 12 (synchronized
+system on the Figure 3 program, iterations 1 and 2; fixpoint on the
+third) and measure the §6 solve including the Preserved computation."""
+
+from repro.paper import tables
+from repro.paper.golden import (
+    EXPECTED_PASSES,
+    FIG3_PRESERVED_8,
+    FIG11_ITER1,
+    FIG12_ITER2,
+)
+from repro.reachdefs import compute_preserved, solve_synch
+
+
+def test_fig11_12_paper_mode(benchmark, paper_graphs):
+    graph = paper_graphs["fig3"]
+    result = benchmark(
+        solve_synch, graph, solver="round-robin", snapshot_passes=True
+    )
+    for table, snap in zip((FIG11_ITER1, FIG12_ITER2), result.stats.snapshots):
+        for node, row in table.items():
+            for col, expected in row.items():
+                got = frozenset(str(d) for d in snap[col][node])
+                assert got == expected, f"{col}({node})"
+    assert (result.stats.changing_passes, result.stats.passes) == EXPECTED_PASSES["fig11_12"]
+
+
+def test_fig11_preserved_sets(benchmark, paper_graphs):
+    graph = paper_graphs["fig3"]
+    preserved = benchmark(compute_preserved, graph)
+    assert preserved.names(graph.node("8")) == FIG3_PRESERVED_8
+
+
+def test_fig11_stabilized_mode(benchmark, paper_graphs):
+    result = benchmark(solve_synch, paper_graphs["fig3"], solver="stabilized")
+    assert {d.name for d in result.reaching("11", "x")} == {"x8"}
+    assert {d.name for d in result.reaching("11", "z")} == {"z6", "z9"}
+
+
+def test_fig11_12_render(benchmark):
+    text = benchmark(tables.fig11_12)
+    assert "iteration 1" in text and "iteration 2" in text

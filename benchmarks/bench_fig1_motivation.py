@@ -1,0 +1,49 @@
+"""Experiment ``fig1-motivation`` — the §1 claims as a measured pipeline:
+induction-variable detection and constant propagation on Figure 1(a) vs
+1(b), reproducing the sequential/parallel contrast."""
+
+from repro import analyze
+from repro.analysis import find_induction_variables, propagate_constants
+from repro.paper import programs
+
+
+def test_fig1b_induction_detection(benchmark, paper_graphs):
+    from repro.reachdefs import solve_parallel
+
+    result = solve_parallel(paper_graphs["fig1b"])
+    ivs = benchmark(find_induction_variables, result)
+    assert [iv.var for iv in ivs] == ["j"]
+    assert ivs[0].steps == (1,)
+
+
+def test_fig1a_no_induction(paper_graphs):
+    from repro.reachdefs import solve_sequential
+
+    result = solve_sequential(paper_graphs["fig1a"])
+    assert find_induction_variables(result) == []
+
+
+def test_fig1b_constant_propagation(benchmark, paper_graphs):
+    from repro.reachdefs import solve_parallel
+
+    result = solve_parallel(paper_graphs["fig1b"])
+    constants = benchmark(propagate_constants, result)
+    assert constants.constant_at("6", "k") == 5
+
+
+def test_fig1_full_contrast(benchmark):
+    """The whole §1 story, end to end, as one measured unit."""
+
+    def contrast():
+        seq = analyze(programs.program("fig1a"))
+        par = analyze(programs.program("fig1b"))
+        return (
+            find_induction_variables(seq),
+            find_induction_variables(par),
+            propagate_constants(seq).constant_at("6", "k"),
+            propagate_constants(par).constant_at("6", "k"),
+        )
+
+    seq_ivs, par_ivs, seq_k, par_k = benchmark(contrast)
+    assert seq_ivs == [] and [iv.var for iv in par_ivs] == ["j"]
+    assert seq_k is None and par_k == 5

@@ -1,0 +1,20 @@
+"""Experiment ``fig2`` — regenerate Figure 2 (the CFG of Figure 1(a)) and
+measure CFG construction + DOT rendering."""
+
+from repro.cfg import build_cfg
+from repro.lang import parse_program
+from repro.paper import programs
+from repro.paper.golden import FIG2_CFG_EDGES
+from repro.pfg import to_dot
+
+
+def test_fig2_cfg_construction(benchmark):
+    program = parse_program(programs.SOURCES["fig1a"])
+    graph = benchmark(build_cfg, program)
+    edges = {(s.name, d.name) for s, d, _k in graph.edges()}
+    assert edges == set(FIG2_CFG_EDGES)
+
+
+def test_fig2_dot_render(benchmark, paper_graphs):
+    dot = benchmark(to_dot, paper_graphs["fig1a"])
+    assert dot.startswith("digraph") and dot.count("->") == len(FIG2_CFG_EDGES)

@@ -1,0 +1,31 @@
+"""Experiment ``fig4`` — regenerate Figure 4 (the PFG of Figure 3:
+sequential/parallel/synchronization edges, fork/join matching) and
+measure PFG construction."""
+
+from repro.lang import parse_program
+from repro.paper import programs
+from repro.paper.golden import FIG4_PFG_EDGES
+from repro.pfg import build_pfg, to_dot, validate_pfg
+
+
+def test_fig4_pfg_construction(benchmark):
+    program = parse_program(programs.SOURCES["fig3"])
+    graph = benchmark(build_pfg, program)
+    edges = {(s.name, d.name, str(k)) for s, d, k in graph.edges()}
+    assert edges == set(FIG4_PFG_EDGES)
+    validate_pfg(graph)
+
+
+def test_fig4_parse_and_build(benchmark):
+    source = programs.SOURCES["fig3"]
+
+    def pipeline():
+        return build_pfg(parse_program(source))
+
+    graph = benchmark(pipeline)
+    assert len(graph) == 14
+
+
+def test_fig4_dot_render(benchmark, paper_graphs):
+    dot = benchmark(to_dot, paper_graphs["fig3"])
+    assert "style=dashed" in dot  # the two synchronization edges

@@ -1,0 +1,28 @@
+"""Experiment ``fig8`` — regenerate Figure 8 (all §5 sets on the Figure 6
+program; convergence on the second iteration) and measure the parallel
+solve in both solver modes."""
+
+from repro.paper import tables
+from repro.paper.golden import EXPECTED_PASSES, FIG8_FIXPOINT
+from repro.reachdefs import solve_parallel
+
+
+def test_fig8_paper_mode(benchmark, paper_graphs):
+    graph = paper_graphs["fig6"]
+    result = benchmark(solve_parallel, graph, solver="round-robin")
+    for node, row in FIG8_FIXPOINT.items():
+        for col, expected in row.items():
+            assert result.set_names(col, node) == expected
+    assert (result.stats.changing_passes, result.stats.passes) == EXPECTED_PASSES["fig8"]
+
+
+def test_fig8_stabilized_mode(benchmark, paper_graphs):
+    result = benchmark(solve_parallel, paper_graphs["fig6"], solver="stabilized")
+    for node, row in FIG8_FIXPOINT.items():
+        for col, expected in row.items():
+            assert result.set_names(col, node) == expected
+
+
+def test_fig8_render(benchmark):
+    text = benchmark(tables.fig8)
+    assert "{a3, b3, b5, c1, c7}" in text  # In(10)

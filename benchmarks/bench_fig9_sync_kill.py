@@ -1,0 +1,27 @@
+"""Experiment ``fig9`` — the §6 synchronization-kill example: only the
+wait-side definition of x reaches the join; without Preserved information
+both post- and wait-side definitions reach (the paper's degraded mode)."""
+
+from repro.analysis import find_anomalies
+from repro.paper.golden import FIG9_JOIN_IN, FIG9_POST_ACCKILLOUT
+from repro.reachdefs import solve_synch
+
+
+def test_fig9_with_preserved(benchmark, paper_graphs):
+    result = benchmark(solve_synch, paper_graphs["fig9"], preserved="approx")
+    assert result.in_names("6") == FIG9_JOIN_IN
+    assert result.set_names("ACCKillout", "4") == FIG9_POST_ACCKILLOUT
+
+
+def test_fig9_without_preserved(benchmark, paper_graphs):
+    result = benchmark(solve_synch, paper_graphs["fig9"], preserved="none")
+    assert {d.name for d in result.reaching("6", "x")} == {"x3", "x5"}
+
+
+def test_fig9_anomaly_report(paper_graphs):
+    precise = solve_synch(paper_graphs["fig9"], preserved="approx")
+    blunt = solve_synch(paper_graphs["fig9"], preserved="none")
+    # Preserved information removes the spurious multiple-values report
+    # for x at the join.
+    assert not [a for a in find_anomalies(precise) if a.var == "x"]
+    assert [a for a in find_anomalies(blunt) if a.var == "x"]

@@ -1,0 +1,58 @@
+"""Experiment ``perf-interp`` — the dynamic-oracle substrate: interpreter
+throughput on the paper programs and the exhaustive explorer's schedule
+enumeration rate on a small racy construct."""
+
+import pytest
+
+from repro import build_pfg
+from repro.interp import ExhaustiveExplorer, RandomScheduler, run_program
+from repro.lang import parse_program
+from repro.paper import programs
+from repro.synthetic import sync_pipeline
+
+
+@pytest.mark.parametrize("key", ["fig6", "fig3c", "fig9"])
+def test_interpreter_single_run(benchmark, key):
+    prog = programs.program(key)
+    graph = build_pfg(prog)
+
+    def run():
+        return run_program(prog, RandomScheduler(seed=1, max_loop_iters=2), graph=graph)
+
+    result = benchmark(run)
+    assert not result.deadlocked
+
+
+def test_interpreter_pipeline_run(benchmark):
+    prog = sync_pipeline(8)
+    graph = build_pfg(prog)
+
+    def run():
+        return run_program(prog, RandomScheduler(seed=3), graph=graph)
+
+    result = benchmark(run)
+    assert result.value("out") == 9
+
+
+RACY = parse_program(
+    "program racy\n(1) x = 0\nparallel sections\nsection A\n(2) x = x + 1\n"
+    "section B\n(3) x = x * 10\n(4) end parallel sections\nend"
+)
+
+
+def test_exhaustive_exploration(benchmark):
+    graph = build_pfg(RACY)
+
+    def explore():
+        count = 0
+
+        def once(scheduler):
+            nonlocal count
+            run_program(RACY, scheduler, graph=graph)
+            count += 1
+
+        list(ExhaustiveExplorer(max_runs=100).schedules(once))
+        return count
+
+    n = benchmark(explore)
+    assert n >= 6  # all interleavings of the two single-statement sections

@@ -1,0 +1,52 @@
+"""Experiment ``precision-preserved`` — what the Preserved machinery buys.
+
+Paper §6: "In the worst case, the effect of synchronization is lost at
+parallel merge points ... This simply reduces the opportunity or
+effectiveness of some optimizations."  We quantify that on the event
+pipeline and on the paper's Figure 3 shape: number of anomaly reports and
+total reaching-set size with the approximation vs without, plus the cost
+of computing Preserved itself."""
+
+import pytest
+
+from repro import build_pfg
+from repro.analysis import anomaly_summary
+from repro.reachdefs import compute_preserved, solve_synch
+from repro.synthetic import fig3_repeated, sync_pipeline
+
+PIPELINE = sync_pipeline(10)
+FIG3X = fig3_repeated(4)
+
+
+def in_size(result):
+    return sum(len(result.In(n)) for n in result.graph.nodes)
+
+
+@pytest.mark.parametrize("mode", ["approx", "none"])
+def test_preserved_mode_timing(benchmark, mode):
+    graph = build_pfg(PIPELINE)
+    result = benchmark(solve_synch, graph, preserved=mode)
+    assert result.stats.converged
+
+
+def test_pipeline_precision_contrast():
+    graph = build_pfg(PIPELINE)
+    precise = solve_synch(graph, preserved="approx")
+    blunt = solve_synch(build_pfg(PIPELINE), preserved="none")
+    races_precise, _ = anomaly_summary(precise)
+    races_blunt, _ = anomaly_summary(blunt)
+    assert races_precise == 0, "the pipeline is fully ordered by events"
+    assert races_blunt > 0, "without ordering info every stage looks racy"
+    assert in_size(precise) < in_size(blunt)
+
+
+def test_fig3_shape_precision_contrast():
+    precise = solve_synch(build_pfg(FIG3X), preserved="approx")
+    blunt = solve_synch(build_pfg(FIG3X), preserved="none")
+    assert in_size(precise) < in_size(blunt)
+
+
+def test_preserved_computation_cost(benchmark):
+    graph = build_pfg(fig3_repeated(8))
+    preserved = benchmark(compute_preserved, graph)
+    assert preserved.passes >= 1

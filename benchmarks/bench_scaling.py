@@ -1,0 +1,89 @@
+"""Experiment ``perf-scaling`` — fixpoint cost vs program size and shape.
+
+One series per workload dimension (DESIGN.md §4): sequential chains
+(universe size), merge-heavy diamonds, wide constructs (MHP/ParallelKill
+pressure), deep nesting (ForkKill plumbing), loop nests (back-edge
+iteration pressure), event pipelines (SynchPass/Preserved), and the
+paper's own Figure 3 shape scaled up."""
+
+import pytest
+
+from repro import analyze, build_pfg
+from repro.synthetic import (
+    chain,
+    diamond_chain,
+    fig3_repeated,
+    loop_nest,
+    nested_parallel,
+    random_mix,
+    sync_pipeline,
+    wide_parallel,
+)
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_scaling_chain(benchmark, n):
+    prog = chain(n)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+    assert len(result.graph.defs) == n
+
+
+@pytest.mark.parametrize("n", [10, 40, 160])
+def test_scaling_diamonds(benchmark, n):
+    prog = diamond_chain(n)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("k", [2, 8, 32])
+def test_scaling_wide_parallel(benchmark, k):
+    prog = wide_parallel(k, 6)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+    assert result.system == "parallel"
+
+
+@pytest.mark.parametrize("depth", [2, 6, 12])
+def test_scaling_nested_parallel(benchmark, depth):
+    prog = nested_parallel(depth)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("depth", [1, 3, 5])
+def test_scaling_loop_nest(benchmark, depth):
+    prog = loop_nest(depth)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("stages", [2, 6, 16])
+def test_scaling_sync_pipeline(benchmark, stages):
+    prog = sync_pipeline(stages)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+    assert result.system == "synch"
+    join = result.graph.joins[0]
+    assert len(result.reaching(join, "x")) == 1  # pipeline fully ordered
+
+
+@pytest.mark.parametrize("copies", [1, 4, 8])
+def test_scaling_fig3_shape(benchmark, copies):
+    prog = fig3_repeated(copies)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("size", [50, 150, 400])
+def test_scaling_random_mix(benchmark, size):
+    prog = random_mix(seed=7, n_stmts=size)
+    result = benchmark(analyze, prog)
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_scaling_pfg_construction(benchmark, size):
+    prog = random_mix(seed=11, n_stmts=size)
+    graph = benchmark(build_pfg, prog)
+    assert len(graph) > 10

@@ -1,0 +1,22 @@
+"""Benchmark helpers.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures
+(asserting the golden content, outside the timed region) and measures the
+code path that produces it; the ``bench_scaling``/``bench_orders``/
+``bench_backends``/``bench_preserved_ablation`` modules measure the
+machinery on synthetic workloads.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import programs
+
+
+@pytest.fixture(scope="session")
+def paper_graphs():
+    """All paper PFGs, built once (construction is benchmarked separately)."""
+    return {key: programs.graph(key) for key in programs.SOURCES}

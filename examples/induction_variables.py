@@ -1,0 +1,59 @@
+"""The paper's opening motivation (§1, Figure 1), end to end.
+
+Two programs with "very similar control flow structures":
+
+* sequential: ``if c then j = j + 1 else k = 5`` inside a loop —
+  ``j`` is *not* an induction variable (the increment is conditional),
+  and ``k`` is not a constant after the conditional;
+* parallel: section A does ``j = j + 1``, section B does ``k = 5`` —
+  both sections always execute, so ``j`` *is* an induction variable and
+  ``k`` *is* 5 after the construct.
+
+"...but this could not be automatically detected without adequate
+dataflow information."  This script detects exactly that, automatically,
+from the paper's equations.
+
+Run:  python examples/induction_variables.py
+"""
+
+from repro import analyze
+from repro.analysis import find_induction_variables, propagate_constants
+from repro.paper import programs
+
+
+def inspect(key: str) -> None:
+    program = programs.program(key)
+    result = analyze(program)
+    constants = propagate_constants(result)
+    ivs = find_induction_variables(result)
+
+    print(f"--- {key} ({result.system} equations) ---")
+    j_defs = sorted(d.name for d in result.reaching("6", "j"))
+    k_defs = sorted(d.name for d in result.reaching("6", "k"))
+    print(f"  defs of j reaching block (6): {j_defs}")
+    print(f"  defs of k reaching block (6): {k_defs}")
+    print(f"  k at block (6) is constant  : {constants.constant_at('6', 'k')}")
+    if ivs:
+        for iv in ivs:
+            print(f"  {iv.format()}")
+            print("    -> strength reduction / dependence-analysis candidate")
+    else:
+        print("  no induction variables")
+    print()
+    return ivs, constants
+
+
+def main() -> None:
+    seq_ivs, seq_consts = inspect("fig1a")
+    par_ivs, par_consts = inspect("fig1b")
+
+    assert seq_ivs == [] and seq_consts.constant_at("6", "k") is None
+    assert [iv.var for iv in par_ivs] == ["j"]
+    assert par_consts.constant_at("6", "k") == 5
+
+    print("The sequential equations cannot justify either optimization;")
+    print("the parallel-merge kill rule (ACCKill, paper §5) justifies both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Parallel Do — the paper's §7 future work, implemented and analyzed.
+
+"In the future, we propose to extend the data flow equations to handle
+Parallel Do, another parallel construct specified by PCF FORTRAN."
+
+This library models the construct as a conditionally-executed,
+*self-concurrent* region: the trip count is unknown (possibly zero, like
+``loop``), every body block may run concurrently with itself and its
+siblings (distinct iterations), and each iteration gets its own
+copy-in/copy-out environment plus a private, read-only index.
+
+The example shows the three consequences:
+
+1. reaching definitions at the merge include both the bypass (zero-trip)
+   and the body definitions;
+2. a variable *written* in the body is flagged as a cross-iteration race
+   — even with a single static definition;
+3. the interpreter demonstrates why: under copy-in/copy-out, iterations
+   do NOT accumulate — each computes on the fork-time copy, and one
+   iteration's write wins the merge.
+
+Run:  python examples/parallel_do.py
+"""
+
+from collections import Counter
+
+from repro import analyze, build_pfg, parse_program
+from repro.analysis import AnomalyKind, find_anomalies
+from repro.interp import RandomScheduler, check_soundness, run_program
+
+SOURCE = """\
+program stencil
+  (1) total = 0
+  (1) scale = 3
+  (2) parallel do i
+    (3) contribution = scale * i
+    (3) total = total + contribution
+  (4) end parallel do
+  (4) answer = total
+end program
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    graph = build_pfg(program)
+    result = analyze(program)
+
+    print(f"equation system: {result.system}")
+    total_defs = sorted(d.name for d in result.reaching("4", "total"))
+    print(f"defs of 'total' reaching the merge: {total_defs}")
+    assert total_defs == ["total1", "total3"], "zero-trip bypass keeps total1 alive"
+
+    print("\nanomalies:")
+    for anomaly in find_anomalies(result):
+        print(f"  {anomaly.format()}")
+    cross = [a for a in find_anomalies(result) if a.kind is AnomalyKind.CROSS_ITERATION]
+    assert {a.var for a in cross} == {"contribution", "total"}
+
+    # Dynamic confirmation: iterations never accumulate — copy-in gives
+    # every iteration total==0, so the final answer is 3*i for whichever
+    # iteration's write wins the merge (or 0 for a zero-trip run).
+    outcomes = Counter()
+    for seed in range(60):
+        run = run_program(
+            program, RandomScheduler(seed=seed, max_loop_iters=3), graph=graph
+        )
+        assert check_soundness(result, run) == []
+        outcomes[run.value("answer")] += 1
+    print(f"\nanswers over 60 random runs: {dict(sorted(outcomes.items()))}")
+    assert set(outcomes) <= {0, 3, 6}  # 3*i for i in 0..2, or zero-trip 0
+    assert len(outcomes) > 1
+
+    print("\nThe race report and the scattered outcomes are the same fact —")
+    print("one static, one dynamic.  An actual reduction needs ordered")
+    print("combining (post/wait between iterations, or a sequential loop).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: analyze an explicitly parallel program.
+
+Parses a mini-PCF program with a ``Parallel Sections`` construct and
+event synchronization, runs the appropriate reaching-definitions system
+(the paper's §6 equations here, since the program synchronizes), and
+prints the per-block sets, the ud-chains, and the anomaly report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze, parse_program
+from repro.analysis import compute_ud_chains, find_anomalies
+from repro.tools.format import render_table
+
+SOURCE = """\
+program quickstart
+  event ready
+  (1) config = 10
+  (1) result = 0
+  (2) parallel sections
+    (3) section producer
+      (3) data = config * 2
+      (3) post(ready)
+    (4) section consumer
+      (4) wait(ready)
+      (4) result = data + 1
+    (5) section logger
+      (5) seen = config
+  (6) end parallel sections
+  (6) total = result + seen
+end program
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    result = analyze(program)  # picks §2 / §5 / §6 automatically
+
+    print(f"equation system : {result.system}")
+    print(f"solver          : {result.stats.order} "
+          f"({result.stats.passes} passes, converged={result.stats.converged})")
+    print()
+
+    order = [n.name for n in result.graph.document_order()]
+    cols = ["Gen", "Kill", "ParallelKill", "In", "Out"]
+    rows = {name: {c: result.set_names(c, name) for c in cols} for name in order}
+    print(render_table(rows, cols, order, title="reaching definitions"))
+
+    print("ud-chains (which definitions can each read observe):")
+    print(compute_ud_chains(result).format())
+    print()
+
+    # The wait orders the producer's write before the consumer's read:
+    reaching_data = {d.name for d in result.reaching("4", "data")}
+    print(f"defs of 'data' reaching the consumer: {sorted(reaching_data)}")
+    assert reaching_data == {"data3"}, "synchronization fully determines the value"
+
+    anomalies = find_anomalies(result)
+    print(f"anomalies: {[a.format() for a in anomalies] or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Race detection across Parallel Sections — the paper's anomaly reports.
+
+A parallel reduction kernel with two bugs the data-flow sets expose:
+
+1. both worker sections accumulate into the same ``sum`` variable
+   (an *actual* race: two concurrent definitions reach the join);
+2. ``scale`` is written under a condition in one section and read after
+   the join (the conservative *multiple-values* warning: either the old
+   or the new value may arrive).
+
+The example then shows the §6 contrast: adding a post/wait pair between
+the workers removes the race report — the analysis understands that the
+synchronization orders the writes.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import analyze, parse_program
+from repro.analysis import AnomalyKind, find_anomalies
+
+RACY = """\
+program reduction
+  (1) sum = 0
+  (1) scale = 1
+  (2) parallel sections
+    (3) section worker_lo
+      (3) lo = 1 + 2 + 3
+      (3) sum = sum + lo
+    (4) section worker_hi
+      (4) hi = 4 + 5 + 6
+      (4) sum = sum + hi
+      (4) if hi > 10 then
+        (5) scale = 2
+      endif
+  (6) end parallel sections
+  (6) mean = sum * scale
+end program
+"""
+
+FIXED = """\
+program reduction_fixed
+  event lo_done
+  (1) sum = 0
+  (2) parallel sections
+    (3) section worker_lo
+      (3) lo = 1 + 2 + 3
+      (3) sum = sum + lo
+      (3) post(lo_done)
+    (4) section worker_hi
+      (4) hi = 4 + 5 + 6
+      (4) wait(lo_done)
+      (5) sum = sum + hi
+  (6) end parallel sections
+  (6) mean = sum
+end program
+"""
+
+
+def report(source: str) -> None:
+    program = parse_program(source)
+    result = analyze(program)
+    print(f"--- {program.name} ({result.system} equations) ---")
+    anomalies = find_anomalies(result)
+    if not anomalies:
+        print("  no anomalies")
+    for a in anomalies:
+        severity = "RACE    " if a.kind is AnomalyKind.RACE else "warning "
+        print(f"  {severity} {a.format()}")
+    print()
+    return anomalies
+
+
+def main() -> None:
+    racy = report(RACY)
+    assert any(a.kind is AnomalyKind.RACE and a.var == "sum" for a in racy)
+    assert any(a.kind is AnomalyKind.MULTIPLE and a.var == "scale" for a in racy)
+
+    fixed = report(FIXED)
+    assert not any(a.kind is AnomalyKind.RACE and a.var == "sum" for a in fixed), (
+        "the post/wait pair orders the two accumulations: no race on sum"
+    )
+    print("post/wait ordering removed the race on 'sum' —")
+    print("exactly the precision the Preserved-set machinery (paper §6) buys.")
+
+
+if __name__ == "__main__":
+    main()

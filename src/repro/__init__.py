@@ -1,0 +1,95 @@
+"""repro — reaching definitions for explicitly parallel programs.
+
+A reproduction of Grunwald & Srinivasan, *Data Flow Equations for
+Explicitly Parallel Programs* (CU-CS-605-92, PPoPP 1993): a mini-PCF
+front end, the Parallel Flow Graph, the paper's sequential / parallel /
+synchronized reaching-definitions equation systems, the Preserved-set
+approximation, optimization clients, and a concurrent interpreter used as
+a dynamic soundness oracle.
+
+Quickstart::
+
+    from repro import analyze, parse_program
+
+    prog = parse_program(source_text)
+    result = analyze(prog)             # picks the right equation system
+    result.reaching("6", "k")          # defs of k reaching block (6)
+"""
+
+from __future__ import annotations
+
+from .cfg import build_cfg, is_sequential
+from .cssa import build_cssa, render_cssa
+from .driver import OptimizationReport, optimize
+from .lang import ast, parse_program, pretty
+from .pfg import ParallelFlowGraph, build_pfg, to_dot, validate_pfg
+from .reachdefs import (
+    ReachingDefsResult,
+    compute_genkill,
+    compute_preserved,
+    solve_parallel,
+    solve_sequential,
+    solve_synch,
+)
+
+__version__ = "1.0.0"
+
+
+def analyze(
+    program: "ast.Program",
+    backend: str = "bitset",
+    order: str = "document",
+    solver: str = "stabilized",
+    preserved: str = "approx",
+) -> ReachingDefsResult:
+    """Analyze ``program`` with the most precise applicable equation system.
+
+    * sequential program → §2 classical reaching definitions;
+    * parallel sections / parallel do, no synchronization → §5 parallel
+      system;
+    * synchronization present → §6 synchronized system (with the
+      Preserved-set mode given by ``preserved``).
+
+    ``solver="stabilized"`` (default) gives the deterministic,
+    visit-order-independent solution; ``"round-robin"`` is the paper's
+    chaotic iteration (see DESIGN.md §5 "solver modes").
+    """
+    graph = build_pfg(program)
+    uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
+    uses_parallel = bool(graph.forks) or bool(graph.pardos)
+    if uses_sync:
+        return solve_synch(
+            graph, backend=backend, order=order, solver=solver, preserved=preserved
+        )
+    if uses_parallel:
+        return solve_parallel(graph, backend=backend, order=order, solver=solver)
+    if solver == "stabilized":
+        # The sequential system is monotone with a unique fixpoint: the
+        # chaotic solver already yields the stabilized answer.
+        solver = "round-robin"
+    return solve_sequential(graph, backend=backend, order=order, solver=solver)
+
+
+__all__ = [
+    "__version__",
+    "analyze",
+    "optimize",
+    "OptimizationReport",
+    "ast",
+    "build_cfg",
+    "build_cssa",
+    "render_cssa",
+    "build_pfg",
+    "compute_genkill",
+    "compute_preserved",
+    "is_sequential",
+    "parse_program",
+    "pretty",
+    "ParallelFlowGraph",
+    "ReachingDefsResult",
+    "solve_parallel",
+    "solve_sequential",
+    "solve_synch",
+    "to_dot",
+    "validate_pfg",
+]

@@ -1,0 +1,72 @@
+"""Optimization and diagnostic clients over reaching-definitions results —
+the consumers the paper builds its equations for (§1)."""
+
+from .anomalies import Anomaly, AnomalyKind, anomaly_summary, find_anomalies, races
+from .constprop import (
+    UNDEF,
+    VARYING,
+    ConstantPropagation,
+    meet,
+    propagate_constants,
+)
+from .copyprop import CopyPropagation, find_copy_propagations
+from .cse import CommonSubexpression, find_common_subexpressions
+from .deadcode import DeadCodeReport, find_dead_code
+from .availexpr import (
+    AvailableExpressions,
+    find_redundant_computations,
+    solve_available_expressions,
+)
+from .liveness import LivenessResult, LivenessSystem, solve_liveness
+from .induction import (
+    InductionVariable,
+    LoopInfo,
+    find_induction_variables,
+    find_loops,
+)
+from .mustexec import always_executes_per_iteration, compute_must_done, loop_body
+from .synclint import (
+    SyncIssue,
+    SyncIssueKind,
+    is_synchronization_correct,
+    lint_synchronization,
+)
+from .udchains import UDChains, compute_ud_chains
+
+__all__ = [
+    "Anomaly",
+    "AnomalyKind",
+    "anomaly_summary",
+    "find_anomalies",
+    "races",
+    "UNDEF",
+    "VARYING",
+    "ConstantPropagation",
+    "meet",
+    "propagate_constants",
+    "CopyPropagation",
+    "find_copy_propagations",
+    "CommonSubexpression",
+    "find_common_subexpressions",
+    "DeadCodeReport",
+    "find_dead_code",
+    "InductionVariable",
+    "LoopInfo",
+    "find_induction_variables",
+    "find_loops",
+    "AvailableExpressions",
+    "find_redundant_computations",
+    "solve_available_expressions",
+    "LivenessResult",
+    "LivenessSystem",
+    "solve_liveness",
+    "SyncIssue",
+    "SyncIssueKind",
+    "is_synchronization_correct",
+    "lint_synchronization",
+    "always_executes_per_iteration",
+    "compute_must_done",
+    "loop_body",
+    "UDChains",
+    "compute_ud_chains",
+]

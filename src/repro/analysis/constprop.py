@@ -1,0 +1,200 @@
+"""Constant propagation over the parallel reaching-definitions result.
+
+The paper's §1 motivation: with the parallel equations, "dataflow
+information would show that the variable 'k' has the value 5 at the end of
+the parallel construct during each iteration" of Figure 1(b) — the
+sequential equations cannot conclude this because the branch analogue is
+conditional.
+
+Classic conditional-constant lattice per definition::
+
+    UNDEF (⊥)  —  not yet evaluated (optimistic start)
+    const c    —  the definition always produces c
+    VARYING(⊤) —  more than one value possible
+
+``value(d)`` is the abstract evaluation of ``d``'s right-hand side, where a
+variable read is the meet over the definitions reaching that use (an
+uninitialized / free-variable read is ``VARYING`` — an unknown input).
+Monotone, so a worklist over du-chains converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..ir.defs import Definition, Use
+from ..lang import ast
+from ..reachdefs.result import NodeRef, ReachingDefsResult
+
+Value = Union[int, bool]
+
+
+class _Top:
+    def __repr__(self) -> str:
+        return "VARYING"
+
+
+class _Bottom:
+    def __repr__(self) -> str:
+        return "UNDEF"
+
+
+VARYING = _Top()
+UNDEF = _Bottom()
+Lattice = Union[Value, _Top, _Bottom]
+
+
+def _lattice_eq(a: Lattice, b: Lattice) -> bool:
+    if a is UNDEF or a is VARYING or b is UNDEF or b is VARYING:
+        return a is b
+    return type(a) is type(b) and a == b
+
+
+def meet(a: Lattice, b: Lattice) -> Lattice:
+    if a is UNDEF:
+        return b
+    if b is UNDEF:
+        return a
+    if a is VARYING or b is VARYING:
+        return VARYING
+    return a if (type(a) is type(b) and a == b) else VARYING
+
+
+def _apply_binop(op: str, left: Value, right: Value) -> Lattice:
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return VARYING if right == 0 else int(left) // int(right)
+        if op == "%":
+            return VARYING if right == 0 else int(left) % int(right)
+        if op == "==":
+            return left == right
+        if op == "/=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+    except TypeError:  # pragma: no cover - mixed bool/int corner
+        return VARYING
+    raise ValueError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+@dataclass
+class ConstantPropagation:
+    """Fixpoint constant values per definition, with point queries."""
+
+    result: ReachingDefsResult
+    values: Dict[Definition, Lattice] = field(default_factory=dict)
+
+    # -- solving ------------------------------------------------------------
+
+    @classmethod
+    def run(cls, result: ReachingDefsResult) -> "ConstantPropagation":
+        self = cls(result=result)
+        defs = list(result.graph.defs)
+        self.values = {d: UNDEF for d in defs}
+        du = result.du_chains()
+        # def -> defs whose rhs may read it (dependents for the worklist)
+        dependents: Dict[Definition, set] = {d: set() for d in defs}
+        def_of_stmt = {d.stmt: d for d in defs if d.stmt is not None}
+        for d, uses in du.items():
+            for use in uses:
+                node = result.graph.node(use.site)
+                if use.ordinal < len(node.stmts):
+                    stmt = node.stmts[use.ordinal]
+                    if isinstance(stmt, ast.Assign) and stmt in def_of_stmt:
+                        dependents[d].add(def_of_stmt[stmt])
+        work = list(defs)
+        in_work = set(work)
+        while work:
+            d = work.pop()
+            in_work.discard(d)
+            # Evaluation is monotone in its inputs and inputs only descend
+            # UNDEF → const → VARYING, so recomputation descends too.
+            new = self._eval_def(d)
+            if not _lattice_eq(new, self.values[d]):
+                self.values[d] = new
+                for dep in dependents[d]:
+                    if dep not in in_work:
+                        in_work.add(dep)
+                        work.append(dep)
+        return self
+
+    def _eval_def(self, d: Definition) -> Lattice:
+        assert d.stmt is not None
+        node = self.result.graph.node(d.site)
+        ordinal = node.stmts.index(d.stmt)
+        return self._eval_expr(d.stmt.expr, d.site, ordinal)
+
+    def _eval_expr(self, expr: ast.Expr, site: str, ordinal: int) -> Lattice:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            use = Use(var=expr.name, site=site, ordinal=ordinal)
+            reaching = self.result.reaching_use(use)
+            if not reaching:
+                return VARYING  # free variable: unknown input
+            acc: Lattice = UNDEF
+            for d in reaching:
+                acc = meet(acc, self.values[d])
+            return acc
+        if isinstance(expr, ast.UnaryOp):
+            inner = self._eval_expr(expr.operand, site, ordinal)
+            if inner is UNDEF or inner is VARYING:
+                return inner
+            return (not inner) if expr.op == "not" else -inner  # type: ignore[operator]
+        if isinstance(expr, ast.BinOp):
+            left = self._eval_expr(expr.left, site, ordinal)
+            right = self._eval_expr(expr.right, site, ordinal)
+            if left is UNDEF or right is UNDEF:
+                return UNDEF
+            if left is VARYING or right is VARYING:
+                return VARYING
+            return _apply_binop(expr.op, left, right)  # type: ignore[arg-type]
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")  # pragma: no cover
+
+    # -- queries -----------------------------------------------------------------
+
+    def value_of(self, d: Definition) -> Lattice:
+        return self.values[d]
+
+    def value_at(self, ref: NodeRef, var: str) -> Lattice:
+        """Abstract value of ``var`` at the *start* of a block: the meet
+        over all definitions reaching it (UNDEF if none reach)."""
+        acc: Lattice = UNDEF
+        for d in self.result.reaching(ref, var):
+            acc = meet(acc, self.values[d])
+        return acc
+
+    def constant_at(self, ref: NodeRef, var: str) -> Optional[Value]:
+        """``var``'s value at block start if provably constant, else None."""
+        v = self.value_at(ref, var)
+        return None if isinstance(v, (_Top, _Bottom)) else v
+
+    def constant_defs(self) -> Dict[Definition, Value]:
+        """All definitions with a proven constant value."""
+        return {
+            d: v for d, v in self.values.items() if not isinstance(v, (_Top, _Bottom))
+        }
+
+
+def propagate_constants(result: ReachingDefsResult) -> ConstantPropagation:
+    """Run constant propagation on an analysis result."""
+    return ConstantPropagation.run(result)

@@ -1,0 +1,108 @@
+"""Common-subexpression elimination via value-labelled expressions.
+
+Two assignment sites compute the *same value* when their right-hand sides
+are structurally equal **after** replacing every variable read by the set
+of definitions reaching that read (its ud-chain): if the reaching-def sets
+match, the operands provably hold the same values, whatever path executed.
+The earlier computation can then serve the later one, provided the earlier
+*target* still holds it — i.e. the earlier definition reaches the later
+site.
+
+This is the paper's "common subexpression elimination" client (§1); it
+works across ``Parallel Sections`` boundaries precisely because the
+parallel equations produce correct reaching-def sets there.  Only
+non-trivial right-hand sides (at least one operator) are considered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..ir.defs import Definition, Use
+from ..lang import ast
+from ..pfg.concurrency import concurrent
+from ..reachdefs.result import ReachingDefsResult
+
+#: A structural expression key with ud-chains in place of variable names.
+ValueKey = Tuple
+
+
+@dataclass(frozen=True)
+class CommonSubexpression:
+    """``later`` recomputes the value already available in ``earlier``'s
+    target; ``later``'s rhs can become a copy of ``earlier.var``."""
+
+    earlier: Definition
+    later: Definition
+    expr: str
+
+    def format(self) -> str:
+        return (
+            f"{self.later.name} recomputes {self.expr} — reuse {self.earlier.name} "
+            f"({self.later.var} = {self.earlier.var})"
+        )
+
+
+def _value_key(result: ReachingDefsResult, expr: ast.Expr, site: str, ordinal: int) -> ValueKey:
+    if isinstance(expr, ast.IntLit):
+        return ("int", expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return ("bool", expr.value)
+    if isinstance(expr, ast.Var):
+        reaching = result.reaching_use(Use(var=expr.name, site=site, ordinal=ordinal))
+        if not reaching:
+            # Free variables: value is an unknowable input; two reads of the
+            # same free variable are assumed to agree (the interpreter
+            # resolves each free variable once per run).
+            return ("free", expr.name)
+        return ("defs", frozenset(d.index for d in reaching))
+    if isinstance(expr, ast.UnaryOp):
+        return ("unary", expr.op, _value_key(result, expr.operand, site, ordinal))
+    if isinstance(expr, ast.BinOp):
+        return (
+            "bin",
+            expr.op,
+            _value_key(result, expr.left, site, ordinal),
+            _value_key(result, expr.right, site, ordinal),
+        )
+    raise TypeError(f"cannot key {type(expr).__name__}")  # pragma: no cover
+
+
+def find_common_subexpressions(result: ReachingDefsResult) -> List[CommonSubexpression]:
+    """All (earlier, later) pairs where the later definition provably
+    recomputes the earlier one's value."""
+    graph = result.graph
+    by_key: Dict[ValueKey, List[Definition]] = {}
+    for node in graph.document_order():
+        for ordinal, stmt in node.assignments():
+            if isinstance(stmt.expr, (ast.IntLit, ast.BoolLit, ast.Var)):
+                continue  # trivial rhs — copy/constant propagation territory
+            d = next(dd for dd in node.defs if dd.stmt is stmt)
+            key = _value_key(result, stmt.expr, node.name, ordinal)
+            by_key.setdefault(key, []).append(d)
+
+    out: List[CommonSubexpression] = []
+    for key, candidates in by_key.items():
+        if len(candidates) < 2:
+            continue
+        for i, earlier in enumerate(candidates):
+            for later in candidates[i + 1 :]:
+                if earlier is later:
+                    continue
+                later_node = graph.node(later.site)
+                later_ordinal = later_node.stmts.index(later.stmt)
+                # The earlier target must still hold the value at the later
+                # site, and the two computations must not race.
+                holds = result.reaching_use(
+                    Use(var=earlier.var, site=later.site, ordinal=later_ordinal)
+                ) == frozenset((earlier,))
+                if not holds:
+                    continue
+                if concurrent(graph.node(earlier.site), later_node):
+                    continue
+                assert later.stmt is not None
+                out.append(
+                    CommonSubexpression(earlier=earlier, later=later, expr=str(later.stmt.expr))
+                )
+    return out

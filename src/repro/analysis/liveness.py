@@ -1,0 +1,147 @@
+"""Live-variable analysis for explicitly parallel programs (backward).
+
+The dual direction to the paper's reaching definitions, included because
+the optimization clients (dead code, register-pressure style questions)
+want it and because it demonstrates the equation framework running
+backward over the same Parallel Flow Graph.
+
+Equations (a *may* analysis — union at every merge is conservative)::
+
+    LiveOut(n) = ⋃_{s ∈ succ(n)} LiveIn(s)          succ = seq ∪ par ∪ sync
+    LiveIn(n)  = (LiveOut(n) − DefBeforeUse(n)) ∪ UseBeforeDef(n)
+
+* ``UseBeforeDef(n)`` — variables read in ``n`` before any assignment to
+  them (upward-exposed uses, including the trailing branch condition);
+* ``DefBeforeUse(n)`` — variables assigned in ``n`` before any read of
+  them (only such an assignment surely masks liveness from below).
+
+Parallel semantics built in conservatively:
+
+* **synchronization successors**: a variable live into a wait block may be
+  *supplied* by the poster's copy (paper §3), so it is live out of every
+  corresponding post block;
+* **parallel joins**: the join's live-in flows back into *every* section
+  (union over parallel edges) — any section's copy may be the one merged;
+* no concurrent-kill: a sibling section's assignment never makes a
+  variable dead here (the thread's own copy persists under
+  copy-in/copy-out).
+
+The system is genuinely monotone (no subtractive feedback — the kill sets
+are per-node constants), so plain chaotic iteration converges to the
+unique least fixpoint from any order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..dataflow.framework import EquationSystem, SolveStats
+from ..dataflow.solver import solve_round_robin
+from ..lang import ast
+from ..pfg.graph import ParallelFlowGraph
+from ..pfg.node import PFGNode
+
+VarSet = FrozenSet[str]
+
+
+def _local_sets(node: PFGNode) -> tuple:
+    """(UseBeforeDef, DefBeforeUse) for one block."""
+    used_first = set()
+    defined_first = set()
+    seen_def = set()
+    seen_use = set()
+    for stmt in node.stmts:
+        if isinstance(stmt, ast.Assign):
+            for var in stmt.expr.variables():
+                if var not in seen_def:
+                    used_first.add(var)
+                seen_use.add(var)
+            if stmt.target not in seen_use and stmt.target not in seen_def:
+                defined_first.add(stmt.target)
+            seen_def.add(stmt.target)
+    if node.cond is not None:
+        for var in node.cond.variables():
+            if var not in seen_def:
+                used_first.add(var)
+    return frozenset(used_first), frozenset(defined_first)
+
+
+class LivenessSystem(EquationSystem[PFGNode]):
+    """Backward may-liveness over the PFG."""
+
+    def __init__(self, graph: ParallelFlowGraph):
+        self.graph = graph
+        self._use = {}
+        self._def = {}
+        for node in graph.nodes:
+            self._use[node], self._def[node] = _local_sets(node)
+        self._succs = {n: graph.succs(n) for n in graph.nodes}  # all kinds
+        self.live_in: Dict[PFGNode, VarSet] = {}
+        self.live_out: Dict[PFGNode, VarSet] = {}
+
+    def nodes(self):
+        # Backward problem: reverse document order converges fastest, but
+        # any order reaches the same least fixpoint.
+        return list(reversed(self.graph.document_order()))
+
+    def initialize(self) -> None:
+        for n in self.graph.nodes:
+            self.live_in[n] = frozenset()
+            self.live_out[n] = frozenset()
+
+    def update(self, n: PFGNode) -> bool:
+        new_out: VarSet = frozenset().union(*(self.live_in[s] for s in self._succs[n])) if self._succs[n] else frozenset()
+        new_in = (new_out - self._def[n]) | self._use[n]
+        changed = new_out != self.live_out[n] or new_in != self.live_in[n]
+        self.live_out[n] = new_out
+        self.live_in[n] = new_in
+        return changed
+
+    def dependents(self, n: PFGNode) -> Iterable[PFGNode]:
+        return self.graph.preds(n)
+
+    def snapshot(self):
+        return {
+            "LiveIn": {n.name: self.live_in[n] for n in self.graph.nodes},
+            "LiveOut": {n.name: self.live_out[n] for n in self.graph.nodes},
+        }
+
+
+class LivenessResult:
+    """Fixpoint liveness with name-based accessors."""
+
+    def __init__(self, graph: ParallelFlowGraph, system: LivenessSystem, stats: SolveStats):
+        self.graph = graph
+        self.stats = stats
+        self.live_in = dict(system.live_in)
+        self.live_out = dict(system.live_out)
+
+    def _node(self, ref) -> PFGNode:
+        return self.graph.node(ref) if isinstance(ref, str) else ref
+
+    def LiveIn(self, ref) -> VarSet:
+        return self.live_in[self._node(ref)]
+
+    def LiveOut(self, ref) -> VarSet:
+        return self.live_out[self._node(ref)]
+
+    def is_live_at_exit(self, var: str) -> bool:
+        assert self.graph.exit is not None
+        return var in self.live_in[self.graph.exit]
+
+
+def solve_liveness(graph: ParallelFlowGraph, observable_at_exit: Optional[Iterable[str]] = None) -> LivenessResult:
+    """Run live-variable analysis to fixpoint.
+
+    ``observable_at_exit`` seeds variables considered read after the
+    program (default: none — liveness then reflects only in-program uses;
+    pass ``graph.defs.variables()`` to treat all final values as output).
+    """
+    system = LivenessSystem(graph)
+    if observable_at_exit and graph.exit is not None:
+        seed = frozenset(observable_at_exit)
+        exit_node = graph.exit
+        original = system._use[exit_node]
+        system._use[exit_node] = original | seed
+    stats = solve_round_robin(system, system.nodes(), order_name="reverse-document")
+    return LivenessResult(graph, system, stats)

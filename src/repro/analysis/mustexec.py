@@ -1,0 +1,99 @@
+"""Must-execute analysis: which blocks have *definitely* completed.
+
+``MustDone(n)`` = the set of blocks guaranteed to have completed execution
+whenever ``n`` begins, in a single construct instance (forward control
+edges only).  This is the must-dual of the Preserved union rule:
+
+* sequential merge: only one arm ran → **intersect** over predecessors;
+* join: every section ran → **union** over parallel predecessors;
+* ordinary/seq edge: predecessor completed → add it.
+
+The paper's induction-variable motivation (§1) rests exactly on this
+asymmetry: the body of ``if`` may not execute each iteration, but every
+``Parallel Sections`` branch does.  ``always_executes_per_iteration`` asks
+whether a block is in ``MustDone(latch)`` of its loop.
+
+Note the contrast with :mod:`repro.reachdefs.preserved`: Preserved answers
+"*if* p executed, was it ordered before n?" (union at merges — vacuous
+truth for the branch not taken); MustDone answers "did p *certainly*
+execute before n?" (intersection at merges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..pfg.graph import ParallelFlowGraph
+from ..pfg.node import PFGNode
+
+
+def compute_must_done(graph: ParallelFlowGraph) -> Dict[PFGNode, FrozenSet[PFGNode]]:
+    """Fixpoint of the MustDone equations over forward control edges.
+
+    Synchronization edges are ignored (waits add ordered-before facts, not
+    must-execute facts — a post may be conditional).
+    """
+    order = graph.reverse_postorder()
+    # Optimistic start: "everything" for nodes with preds would be the
+    # classic dominance-style init; we instead run the pessimistic
+    # (grow-from-empty) iteration on the *forward* DAG, where one RPO pass
+    # reaches the fixpoint because every forward predecessor precedes its
+    # successor in RPO.
+    must: Dict[PFGNode, FrozenSet[PFGNode]] = {n: frozenset() for n in graph.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            back = graph.back_edges()
+            seq_preds = [p for p in graph.seq_preds(node) if (p, node) not in back]
+            par_preds = graph.par_preds(node)
+            if node.is_join:
+                # every section ran: union over parallel predecessors
+                acc: Optional[Set[PFGNode]] = None
+                for p in seq_preds:
+                    through = set(must[p]) | {p}
+                    acc = through if acc is None else (acc & through)
+                current: Set[PFGNode] = acc if acc is not None else set()
+                for p in par_preds:
+                    current |= set(must[p]) | {p}
+            else:
+                # alternative arrival paths (including a section-entry loop
+                # header with a parallel entry edge and a sequential latch):
+                # a block certainly ran only if every path says so.
+                acc = None
+                for p in seq_preds + par_preds:
+                    through = set(must[p]) | {p}
+                    acc = through if acc is None else (acc & through)
+                current = acc if acc is not None else set()
+            new = frozenset(current)
+            if new != must[node]:
+                must[node] = new
+                changed = True
+    return must
+
+
+def loop_body(graph: ParallelFlowGraph, latch: PFGNode, header: PFGNode) -> FrozenSet[PFGNode]:
+    """The natural loop of back edge ``latch -> header``: header plus all
+    nodes that reach the latch without passing through the header."""
+    body: Set[PFGNode] = {header, latch}
+    stack = [latch]
+    while stack:
+        node = stack.pop()
+        for p in graph.control_preds(node):
+            if p not in body:
+                body.add(p)
+                stack.append(p)
+    return frozenset(body)
+
+
+def always_executes_per_iteration(
+    graph: ParallelFlowGraph,
+    node: PFGNode,
+    latch: PFGNode,
+    must: Optional[Dict[PFGNode, FrozenSet[PFGNode]]] = None,
+) -> bool:
+    """True iff ``node`` is guaranteed to run in every iteration that
+    reaches ``latch`` (i.e. ``node ∈ MustDone(latch)``)."""
+    if must is None:
+        must = compute_must_done(graph)
+    return node in must[latch]

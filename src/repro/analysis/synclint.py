@@ -1,0 +1,163 @@
+"""Static synchronization diagnostics ("sync lint").
+
+The §6 equations inherit PCF's correctness assumption: "it must be
+possible to execute each post before its corresponding wait for a parallel
+program to be deadlock free and correct" — and the paper's own Figure 3
+violates it (the event is never cleared inside the loop, so iteration
+``k+1``'s wait can be released by iteration ``k``'s stale posting).  This
+module reports the violations statically:
+
+``WAIT_WITHOUT_POST``
+    a wait on an event that no block posts — every execution reaching it
+    deadlocks;
+
+``WAIT_ONLY_ORDERED_AFTER``
+    every post of the event is *ordered after* the wait over forward
+    control/sync paths (the wait can never be released in its construct
+    instance) — deadlock by ordering;
+
+``STALE_EVENT``
+    a wait that executes repeatedly (it lies inside a loop) on an event
+    that is posted somewhere but never cleared on any path around that
+    loop — the Figure 3 bug: a posting can leak across iterations and
+    release the wait early, invalidating the §6 Preserved reasoning;
+
+``POST_WITHOUT_WAIT``
+    informational: a posted event nobody waits on.
+
+These are conservative *warnings* in the paper's spirit (its analysis
+flags "potential anomalies"); programs flagged STALE_EVENT are exactly
+those on which the dynamic oracle can exhibit executions outside the
+static sets (see ``tests/regression/test_fig3_stale_event.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..pfg.graph import ParallelFlowGraph
+from ..pfg.node import PFGNode
+
+
+class SyncIssueKind(enum.Enum):
+    WAIT_WITHOUT_POST = "wait-without-post"
+    WAIT_ONLY_ORDERED_AFTER = "wait-only-ordered-after"
+    STALE_EVENT = "stale-event"
+    POST_WITHOUT_WAIT = "post-without-wait"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SyncIssue:
+    kind: SyncIssueKind
+    event: str
+    node: Optional[PFGNode] = None
+
+    def format(self) -> str:
+        where = f" at block ({self.node.name})" if self.node is not None else ""
+        detail = {
+            SyncIssueKind.WAIT_WITHOUT_POST: "wait on event that is never posted (deadlock)",
+            SyncIssueKind.WAIT_ONLY_ORDERED_AFTER: (
+                "every post of the event is ordered after the wait (deadlock)"
+            ),
+            SyncIssueKind.STALE_EVENT: (
+                "wait inside a loop on an event that is never cleared in the "
+                "loop — a stale posting from a previous iteration can release "
+                "the wait early (the paper's Figure 3 bug)"
+            ),
+            SyncIssueKind.POST_WITHOUT_WAIT: "event is posted but never waited on",
+        }[self.kind]
+        return f"{self.kind} '{self.event}'{where}: {detail}"
+
+
+def _forward_reachable(graph: ParallelFlowGraph, sources) -> Set[PFGNode]:
+    """Nodes reachable from ``sources`` over forward control + sync edges."""
+    back = graph.back_edges()
+    seen = set(sources)
+    stack = list(sources)
+    while stack:
+        node = stack.pop()
+        for succ, _kind in graph.out_edges(node):
+            if (node, succ) in back or succ in seen:
+                continue
+            seen.add(succ)
+            stack.append(succ)
+    return seen
+
+
+def _loops_containing(graph: ParallelFlowGraph, node: PFGNode) -> List[Tuple[PFGNode, PFGNode]]:
+    """(header, latch) of every natural loop whose body contains ``node``."""
+    from .mustexec import loop_body
+
+    out = []
+    for latch, header in graph.back_edges():
+        if node in loop_body(graph, latch, header):
+            out.append((header, latch))
+    return out
+
+
+def _clears_of_event(graph: ParallelFlowGraph, event: str) -> List[PFGNode]:
+    out = []
+    for node in graph.nodes:
+        for stmt in node.stmts:
+            if isinstance(stmt, ast.Clear) and stmt.event == event:
+                out.append(node)
+                break
+    return out
+
+
+def lint_synchronization(graph: ParallelFlowGraph) -> List[SyncIssue]:
+    """Run all synchronization checks on ``graph``."""
+    issues: List[SyncIssue] = []
+    events = set(graph.posts_of_event) | set(graph.waits_of_event)
+
+    for event in sorted(events):
+        posts = graph.posts_of_event.get(event, [])
+        waits = graph.waits_of_event.get(event, [])
+
+        if posts and not waits:
+            issues.append(SyncIssue(SyncIssueKind.POST_WITHOUT_WAIT, event))
+        for wait in waits:
+            if not posts:
+                issues.append(SyncIssue(SyncIssueKind.WAIT_WITHOUT_POST, event, wait))
+                continue
+            # Deadlock by ordering: a post can release the wait only if it
+            # is NOT strictly downstream of the wait (over forward
+            # control+sync edges — sync edges only add orderings).  A post
+            # at the end of the wait's own block is downstream of its wait
+            # by extended-basic-block construction.
+            downstream = _forward_reachable(graph, [wait])
+            if wait.post_event != event:
+                downstream = downstream - {wait}
+            if all(p in downstream for p in posts):
+                issues.append(
+                    SyncIssue(SyncIssueKind.WAIT_ONLY_ORDERED_AFTER, event, wait)
+                )
+                continue
+            # Stale event: the wait re-executes (some loop contains it) and
+            # no clear of the event exists inside any such loop.
+            clears = _clears_of_event(graph, event)
+            for header, latch in _loops_containing(graph, wait):
+                from .mustexec import loop_body
+
+                body = loop_body(graph, latch, header)
+                if not any(c in body for c in clears):
+                    issues.append(SyncIssue(SyncIssueKind.STALE_EVENT, event, wait))
+                    break
+    return issues
+
+
+def is_synchronization_correct(graph: ParallelFlowGraph) -> bool:
+    """True iff no deadlock- or staleness-class issue is reported (the
+    assumption under which the §6 results are dynamically exact)."""
+    blocking = {
+        SyncIssueKind.WAIT_WITHOUT_POST,
+        SyncIssueKind.WAIT_ONLY_ORDERED_AFTER,
+        SyncIssueKind.STALE_EVENT,
+    }
+    return not any(issue.kind in blocking for issue in lint_synchronization(graph))

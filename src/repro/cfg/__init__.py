@@ -1,0 +1,5 @@
+"""Sequential control-flow graphs — the paper's §2 baseline substrate."""
+
+from .builder import ControlFlowGraph, build_cfg, is_sequential
+
+__all__ = ["ControlFlowGraph", "build_cfg", "is_sequential"]

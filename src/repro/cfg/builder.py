@@ -1,0 +1,43 @@
+"""Sequential Control Flow Graph construction (paper §2, Figure 2).
+
+A CFG is the degenerate Parallel Flow Graph of a program with no parallel
+constructs: same node type, only ``SEQ`` edges.  Reusing the PFG builder
+keeps block formation (and therefore definition naming) identical between
+the sequential baseline and the parallel analyses, which is what makes the
+side-by-side comparisons in the paper's Figures 1 and 5 meaningful.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.errors import SemanticError
+from ..pfg.builder import build_pfg
+from ..pfg.graph import ParallelFlowGraph
+
+#: Alias: a CFG *is* a ParallelFlowGraph whose edges are all sequential.
+ControlFlowGraph = ParallelFlowGraph
+
+
+def is_sequential(program: ast.Program) -> bool:
+    """True iff the program uses no parallel or synchronization constructs."""
+    for stmt in program.walk():
+        if isinstance(stmt, (ast.ParallelSections, ast.ParallelDo, ast.Post, ast.Wait, ast.Clear)):
+            return False
+    return True
+
+
+def build_cfg(program: ast.Program) -> ControlFlowGraph:
+    """Build the CFG of a *sequential* program.
+
+    Raises :class:`~repro.lang.errors.SemanticError` if the program contains
+    ``parallel sections`` or event synchronization — use
+    :func:`repro.pfg.build_pfg` for those.
+    """
+    for stmt in program.walk():
+        if isinstance(stmt, (ast.ParallelSections, ast.ParallelDo)):
+            raise SemanticError("sequential CFG requested for a parallel program", stmt.span)
+        if isinstance(stmt, (ast.Post, ast.Wait, ast.Clear)):
+            raise SemanticError(
+                "sequential CFG requested for a program with event synchronization", stmt.span
+            )
+    return build_pfg(program)

@@ -1,0 +1,19 @@
+"""Concurrent SSA form — the paper's §7 future work, built on the PFG.
+
+φ at sequential merges, ψ at parallel joins (a ψ with distinct argument
+versions *is* the paper's join anomaly), π at waits.
+"""
+
+from .build import CSSABuilder, build_cssa
+from .form import CSSAForm, MergeFunction, MergeKind, SSAName
+from .render import render_cssa
+
+__all__ = [
+    "CSSABuilder",
+    "build_cssa",
+    "CSSAForm",
+    "MergeFunction",
+    "MergeKind",
+    "SSAName",
+    "render_cssa",
+]

@@ -1,0 +1,177 @@
+"""CSSA construction over the Parallel Flow Graph.
+
+Merge-on-conflict algorithm (no dominance frontiers needed):
+
+1. every original assignment gets a fresh version of its variable, in
+   document order;
+2. versions are propagated forward over control + synchronization edges
+   (reverse postorder, iterated to a fixpoint);
+3. whenever **two distinct versions meet** at a block, a merge function is
+   created there, defining a fresh version — ψ when the block is a
+   parallel join, π when it is a wait fed by synchronization edges, φ
+   otherwise (sequential merges and loop headers);
+4. merge creation is monotone (merges are only ever added), so the
+   propagation terminates; afterwards every block start sees at most one
+   version per variable, which is what makes the form SSA.
+
+Compared with classical dominance-frontier placement this inserts merges
+*exactly where value conflicts occur* (a pruned-SSA effect falls out for
+free: a variable with one reaching version gets no merge), at the cost of
+an iterative pass — entirely in keeping with the paper's fixpoint style.
+
+Relation to reaching definitions: expanding a version through its merge
+arguments yields the set of original definitions it can carry; on
+sequential programs this equals the RD ud-chain exactly, and on parallel
+programs it is a superset at the points where the ACCKill machinery
+proves definitions dead across a join (property-tested in
+``tests/unit/test_cssa.py`` / ``tests/property/test_cssa_props.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.defs import Definition, Use
+from ..pfg.graph import ParallelFlowGraph
+from ..pfg.node import PFGNode
+from .form import CSSAForm, MergeFunction, MergeKind, SSAName
+
+_MAX_PASSES = 10_000
+
+
+class CSSABuilder:
+    def __init__(self, graph: ParallelFlowGraph):
+        self.graph = graph
+        self.variables = sorted(graph.defs.variables())
+        self._next_index: Dict[str, int] = {v: 1 for v in self.variables}
+        self.def_versions: Dict[Definition, SSAName] = {}
+        self.merges: Dict[Tuple[PFGNode, str], MergeFunction] = {}
+        #: version at end of block (None = undefined there)
+        self.out: Dict[Tuple[PFGNode, str], Optional[SSAName]] = {}
+
+    def _fresh(self, var: str) -> SSAName:
+        name = SSAName(var, self._next_index[var])
+        self._next_index[var] += 1
+        return name
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> CSSAForm:
+        for node in self.graph.document_order():
+            for d in node.defs:
+                self.def_versions[d] = self._fresh(d.var)
+        for node in self.graph.nodes:
+            for var in self.variables:
+                self.out[(node, var)] = None
+
+        order = self.graph.reverse_postorder()
+        for _pass in range(_MAX_PASSES):
+            changed = False
+            for node in order:
+                for var in self.variables:
+                    changed |= self._update(node, var)
+            if not changed:
+                break
+        else:  # pragma: no cover - merge creation is monotone & bounded
+            raise RuntimeError("CSSA construction failed to stabilize")
+
+        self._finalize_merge_args()
+        self._prune_degenerate_merges()
+        return CSSAForm(
+            def_versions=dict(self.def_versions),
+            merges=dict(self.merges),
+            use_versions=self._compute_use_versions(),
+            out_versions=dict(self.out),
+        )
+
+    def _incoming(self, node: PFGNode, var: str) -> List[Tuple[PFGNode, Optional[SSAName]]]:
+        return [(p, self.out[(p, var)]) for p in self.graph.all_preds(node)]
+
+    def _start_version(self, node: PFGNode, var: str) -> Optional[SSAName]:
+        key = (node, var)
+        if key in self.merges:
+            return self.merges[key].target
+        incoming = {v for _p, v in self._incoming(node, var) if v is not None}
+        if len(incoming) > 1:
+            self.merges[key] = MergeFunction(
+                kind=self._merge_kind(node), node=node, target=self._fresh(var)
+            )
+            return self.merges[key].target
+        return next(iter(incoming)) if incoming else None
+
+    def _merge_kind(self, node: PFGNode) -> MergeKind:
+        if node.is_join:
+            return MergeKind.PSI
+        if node.is_wait and self.graph.sync_preds(node):
+            return MergeKind.PI
+        return MergeKind.PHI
+
+    def _update(self, node: PFGNode, var: str) -> bool:
+        own = node.defs_of(var)
+        if own:
+            new = self.def_versions[own[-1]]
+            # still resolve the start version so conflicts at this block
+            # (before the redefinition) create their merge
+            self._start_version(node, var)
+        else:
+            new = self._start_version(node, var)
+        key = (node, var)
+        if self.out[key] != new:
+            self.out[key] = new
+            return True
+        return False
+
+    def _finalize_merge_args(self) -> None:
+        for (node, var), merge in self.merges.items():
+            merge.args = self._incoming(node, var)
+
+    def _prune_degenerate_merges(self) -> None:
+        """Remove merges whose arguments all carry one version at the
+        fixpoint (conflicts that were only transient during iteration),
+        substituting that version for the merge's target everywhere —
+        the classic trivial-φ cleanup, applied transitively."""
+        while True:
+            subst: Dict[SSAName, Optional[SSAName]] = {}
+            for key, merge in list(self.merges.items()):
+                distinct = merge.arg_versions() - {merge.target}
+                if len(distinct) <= 1:
+                    subst[merge.target] = next(iter(distinct)) if distinct else None
+                    del self.merges[key]
+            if not subst:
+                return
+
+            def resolve(v: Optional[SSAName]) -> Optional[SSAName]:
+                while v is not None and v in subst:
+                    v = subst[v]
+                return v
+
+            for key in self.out:
+                self.out[key] = resolve(self.out[key])
+            for merge in self.merges.values():
+                merge.args = [(p, resolve(v)) for p, v in merge.args]
+
+    def _compute_use_versions(self) -> Dict[Use, Optional[SSAName]]:
+        out: Dict[Use, Optional[SSAName]] = {}
+        for node in self.graph.nodes:
+            for use in node.uses():
+                if use.var not in self._next_index:
+                    out[use] = None  # free variable: nondeterministic input
+                    continue
+                local = node.local_def_before(use.var, use.ordinal)
+                if local is not None:
+                    out[use] = self.def_versions[local]
+                else:
+                    key = (node, use.var)
+                    if key in self.merges:
+                        out[use] = self.merges[key].target
+                    else:
+                        incoming = {
+                            v for _p, v in self._incoming(node, use.var) if v is not None
+                        }
+                        out[use] = next(iter(incoming)) if len(incoming) == 1 else None
+        return out
+
+
+def build_cssa(graph: ParallelFlowGraph) -> CSSAForm:
+    """Construct the CSSA form of ``graph``."""
+    return CSSABuilder(graph).build()

@@ -1,0 +1,128 @@
+"""Concurrent SSA (CSSA) data types.
+
+The paper's future work (§7) points at translating explicitly parallel
+programs to an SSA intermediate form, citing the authors' companion work
+on Parallel/Concurrent SSA.  The established shape of that form extends
+classic SSA with two merge operators beyond φ:
+
+``φ`` (phi)
+    at *sequential* merge points — one argument per control predecessor;
+    exactly one argument's value arrives (the branch taken);
+
+``ψ`` (psi)
+    at *parallel join* points — one argument per section exit; all
+    arguments were computed, and a ψ whose arguments carry distinct
+    versions is precisely the paper's join anomaly in SSA clothing;
+
+``π`` (pi)
+    at *wait* points — arguments from the waiting thread's own copy and
+    from each posting block whose value the wait may absorb.
+
+Every variable version is an :class:`SSAName` (``x_3``); original
+assignments define versions, merge functions define fresh ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..ir.defs import Definition, Use
+from ..pfg.node import PFGNode
+
+
+@dataclass(frozen=True, order=True)
+class SSAName:
+    """One SSA version of a variable, rendered ``var_index``.
+
+    Index 0 is reserved for the undefined/input version (reads of
+    never-assigned variables).
+    """
+
+    var: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.var}_{self.index}"
+
+
+class MergeKind(enum.Enum):
+    PHI = "φ"
+    PSI = "ψ"
+    PI = "π"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class MergeFunction:
+    """One merge pseudo-assignment at the start of a block."""
+
+    kind: MergeKind
+    node: PFGNode
+    target: SSAName
+    #: (predecessor block, incoming version) pairs, in predecessor order;
+    #: version None means the variable is undefined along that path.
+    args: List[Tuple[PFGNode, Optional[SSAName]]] = field(default_factory=list)
+
+    @property
+    def var(self) -> str:
+        return self.target.var
+
+    def arg_versions(self) -> FrozenSet[SSAName]:
+        return frozenset(v for _p, v in self.args if v is not None)
+
+    def format(self) -> str:
+        rendered = ", ".join(
+            f"{v if v is not None else '⊥'}:{p.name}" for p, v in self.args
+        )
+        return f"{self.target} = {self.kind}({rendered})"
+
+
+@dataclass
+class CSSAForm:
+    """The complete CSSA view of one analyzed program."""
+
+    #: version assigned to each original definition
+    def_versions: Dict[Definition, SSAName]
+    #: merge functions by (block, variable)
+    merges: Dict[Tuple[PFGNode, str], MergeFunction]
+    #: version observed by each use (None = undefined/input)
+    use_versions: Dict[Use, Optional[SSAName]]
+    #: version live at the *end* of each block, per variable
+    out_versions: Dict[Tuple[PFGNode, str], Optional[SSAName]]
+
+    def merges_at(self, node: PFGNode) -> List[MergeFunction]:
+        return [m for (n, _v), m in sorted(self.merges.items(), key=lambda kv: kv[0][1]) if n is node]
+
+    def version_of(self, d: Definition) -> SSAName:
+        return self.def_versions[d]
+
+    def all_versions(self, var: str) -> List[SSAName]:
+        out = {v for v in self.def_versions.values() if v.var == var}
+        out |= {m.target for m in self.merges.values() if m.var == var}
+        return sorted(out)
+
+    # -- semantic expansion -------------------------------------------------
+
+    def expand(self, version: SSAName) -> FrozenSet[Definition]:
+        """The original definitions a version may carry: a definition's
+        version expands to itself; a merge expands to the union of its
+        arguments (transitively)."""
+        by_version: Dict[SSAName, Definition] = {v: d for d, v in self.def_versions.items()}
+        merge_by_version = {m.target: m for m in self.merges.values()}
+        seen: set = set()
+        out: set = set()
+        stack = [version]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            if v in by_version:
+                out.add(by_version[v])
+            elif v in merge_by_version:
+                stack.extend(merge_by_version[v].arg_versions())
+        return frozenset(out)

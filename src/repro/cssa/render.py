@@ -1,0 +1,63 @@
+"""Textual rendering of the CSSA form: the program's blocks with merge
+pseudo-assignments at block starts and SSA-versioned statements."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import ast
+from ..pfg.graph import ParallelFlowGraph
+from .form import CSSAForm, SSAName
+
+
+def _render_expr(expr: ast.Expr, lookup) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Var):
+        version = lookup(expr.name)
+        return str(version) if version is not None else f"{expr.name}_⊥"
+    if isinstance(expr, ast.UnaryOp):
+        inner = _render_expr(expr.operand, lookup)
+        return f"(not {inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, ast.BinOp):
+        return f"({_render_expr(expr.left, lookup)} {expr.op} {_render_expr(expr.right, lookup)})"
+    raise TypeError(type(expr).__name__)  # pragma: no cover
+
+
+def render_cssa(graph: ParallelFlowGraph, form: CSSAForm) -> str:
+    """Render the whole graph in CSSA form, one block per section."""
+    from ..ir.defs import Use
+
+    lines: List[str] = [f"CSSA form of {graph.program_name}"]
+    for node in graph.document_order():
+        header = f"block ({node.name}) [{node.kind}]"
+        if node.wait_event:
+            header += f"  wait({node.wait_event})"
+        lines.append(header)
+        for merge in form.merges_at(node):
+            lines.append(f"  {merge.format()}")
+        for ordinal, stmt in enumerate(node.stmts):
+            if isinstance(stmt, ast.Assign):
+                d = next(dd for dd in node.defs if dd.stmt is stmt)
+
+                def lookup(var, _ordinal=ordinal, _node=node):
+                    return form.use_versions.get(
+                        Use(var=var, site=_node.name, ordinal=_ordinal)
+                    )
+
+                rhs = _render_expr(stmt.expr, lookup)
+                lines.append(f"  {form.version_of(d)} = {rhs}")
+            elif isinstance(stmt, ast.Clear):
+                lines.append(f"  clear({stmt.event})")
+        if node.post_event:
+            lines.append(f"  post({node.post_event})")
+        if node.cond is not None:
+            ordinal = len(node.stmts)
+
+            def lookup_cond(var, _node=node, _ordinal=ordinal):
+                return form.use_versions.get(Use(var=var, site=_node.name, ordinal=_ordinal))
+
+            lines.append(f"  branch {_render_expr(node.cond, lookup_cond)}")
+    return "\n".join(lines) + "\n"

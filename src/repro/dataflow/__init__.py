@@ -1,0 +1,36 @@
+"""Data-flow machinery: set backends, equation framework, fixpoint solvers."""
+
+from .bitset import (
+    BACKENDS,
+    FrozensetBackend,
+    IntBitsetBackend,
+    NumpyBitsetBackend,
+    SetBackend,
+    make_backend,
+)
+from .framework import EquationSystem, FixpointDiverged, SolveStats, VariableMap
+from .solver import (
+    DEFAULT_MAX_PASSES,
+    SOLVERS,
+    make_order,
+    solve_round_robin,
+    solve_worklist,
+)
+
+__all__ = [
+    "BACKENDS",
+    "FrozensetBackend",
+    "IntBitsetBackend",
+    "NumpyBitsetBackend",
+    "SetBackend",
+    "make_backend",
+    "EquationSystem",
+    "FixpointDiverged",
+    "SolveStats",
+    "VariableMap",
+    "DEFAULT_MAX_PASSES",
+    "SOLVERS",
+    "make_order",
+    "solve_round_robin",
+    "solve_worklist",
+]

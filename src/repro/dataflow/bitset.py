@@ -1,0 +1,225 @@
+"""Set backends for data-flow values.
+
+The paper notes that "most commercial compilers use the bit vector
+intermediate representation".  All equation systems in this package are
+written against the small :class:`SetBackend` protocol, with three
+interchangeable implementations:
+
+``FrozensetBackend``
+    Values are ``frozenset[Definition]`` — slow, but transparent when
+    debugging and the natural golden-test representation.
+
+``IntBitsetBackend``
+    Values are plain Python integers used as bit vectors (bit ``i`` set iff
+    definition with index ``i`` is in the set).  Arbitrary-precision ints
+    give branch-free union/intersection/difference in C; this is the
+    production backend.
+
+``NumpyBitsetBackend``
+    Values are ``numpy.uint64`` arrays of packed bits.  Included for the
+    backend ablation benchmark (``benchmarks/bench_backends.py``): for the
+    universe sizes real procedures produce, Python ints win — NumPy's
+    per-call overhead dominates below a few thousand definitions.
+
+The property test ``tests/property/test_backends_agree.py`` checks all
+three produce identical fixpoints.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Generic, Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+from ..ir.defs import Definition
+
+S = TypeVar("S")
+
+
+class SetBackend(Generic[S]):
+    """Operations over subsets of a fixed definition universe.
+
+    Subclasses must be *pure*: every operation returns a fresh value and
+    never mutates its arguments (solver state snapshots rely on this).
+    """
+
+    name = "abstract"
+
+    def __init__(self, universe: Sequence[Definition]):
+        self.universe: List[Definition] = list(universe)
+
+    # -- constructors --------------------------------------------------
+
+    def empty(self) -> S:
+        raise NotImplementedError
+
+    def from_defs(self, defs: Iterable[Definition]) -> S:
+        raise NotImplementedError
+
+    # -- operations ----------------------------------------------------
+
+    def union(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def intersection(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def difference(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def equals(self, a: S, b: S) -> bool:
+        raise NotImplementedError
+
+    # -- derived helpers -------------------------------------------------
+
+    def union_all(self, sets: Iterable[S]) -> S:
+        """Union of a family; the empty family gives the empty set."""
+        out = self.empty()
+        for s in sets:
+            out = self.union(out, s)
+        return out
+
+    def intersection_all(self, sets: Iterable[S]) -> S:
+        """Intersection of a family.
+
+        Per DESIGN.md §2, the intersection of an **empty** family is the
+        **empty set** — the convention the paper's worked examples use for
+        blocks with no sequential (or synchronization) predecessors.
+        """
+        out: S = None  # type: ignore[assignment]
+        first = True
+        for s in sets:
+            out = s if first else self.intersection(out, s)
+            first = False
+        return self.empty() if first else out
+
+    # -- conversion ------------------------------------------------------
+
+    def to_frozenset(self, s: S) -> FrozenSet[Definition]:
+        raise NotImplementedError
+
+    def size(self, s: S) -> int:
+        return len(self.to_frozenset(s))
+
+
+class FrozensetBackend(SetBackend[FrozenSet[Definition]]):
+    name = "set"
+
+    def empty(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def from_defs(self, defs: Iterable[Definition]) -> FrozenSet[Definition]:
+        return frozenset(defs)
+
+    def union(self, a, b):
+        return a | b
+
+    def intersection(self, a, b):
+        return a & b
+
+    def difference(self, a, b):
+        return a - b
+
+    def equals(self, a, b) -> bool:
+        return a == b
+
+    def to_frozenset(self, s):
+        return s
+
+    def size(self, s) -> int:
+        return len(s)
+
+
+class IntBitsetBackend(SetBackend[int]):
+    name = "bitset"
+
+    def empty(self) -> int:
+        return 0
+
+    def from_defs(self, defs: Iterable[Definition]) -> int:
+        out = 0
+        for d in defs:
+            out |= 1 << d.index
+        return out
+
+    def union(self, a: int, b: int) -> int:
+        return a | b
+
+    def intersection(self, a: int, b: int) -> int:
+        return a & b
+
+    def difference(self, a: int, b: int) -> int:
+        return a & ~b
+
+    def equals(self, a: int, b: int) -> bool:
+        return a == b
+
+    def to_frozenset(self, s: int) -> FrozenSet[Definition]:
+        out = []
+        idx = 0
+        while s:
+            if s & 1:
+                out.append(self.universe[idx])
+            s >>= 1
+            idx += 1
+        return frozenset(out)
+
+    def size(self, s: int) -> int:
+        return s.bit_count()
+
+
+class NumpyBitsetBackend(SetBackend[np.ndarray]):
+    name = "numpy"
+
+    def __init__(self, universe: Sequence[Definition]):
+        super().__init__(universe)
+        self.n_words = max(1, (len(self.universe) + 63) // 64)
+
+    def empty(self) -> np.ndarray:
+        return np.zeros(self.n_words, dtype=np.uint64)
+
+    def from_defs(self, defs: Iterable[Definition]) -> np.ndarray:
+        out = self.empty()
+        for d in defs:
+            out[d.index >> 6] |= np.uint64(1) << np.uint64(d.index & 63)
+        return out
+
+    def union(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a | b
+
+    def intersection(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a & b
+
+    def difference(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a & ~b
+
+    def equals(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(np.array_equal(a, b))
+
+    def to_frozenset(self, s: np.ndarray) -> FrozenSet[Definition]:
+        out = []
+        for word_index, word in enumerate(s.tolist()):
+            base = word_index << 6
+            while word:
+                low = word & -word
+                out.append(self.universe[base + low.bit_length() - 1])
+                word ^= low
+        return frozenset(out)
+
+    def size(self, s: np.ndarray) -> int:
+        return int(np.unpackbits(s.view(np.uint8)).sum())
+
+
+#: Registry used by user-facing ``backend=`` parameters.
+BACKENDS = {
+    cls.name: cls for cls in (FrozensetBackend, IntBitsetBackend, NumpyBitsetBackend)
+}
+
+
+def make_backend(name: str, universe: Sequence[Definition]) -> SetBackend:
+    """Instantiate a backend by name (``"set"``, ``"bitset"``, ``"numpy"``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown set backend {name!r}; choose from {sorted(BACKENDS)}") from None
+    return cls(universe)

@@ -1,0 +1,108 @@
+"""Generic monotone equation-system framework.
+
+The paper's three reaching-definitions systems (sequential, parallel,
+synchronized) are *irregular* data-flow problems: several interacting set
+variables per node (``In``, ``Out``, ``ACCKillin``, ``ACCKillout``,
+``ForkKill``, ``SynchPass``) with node-kind-dependent update rules.  Rather
+than force them into a transfer-function/lattice mould, the framework asks
+each system for a single ``update(node)`` that recomputes all of the node's
+variables from current state (Gauss–Seidel style — updates within a pass
+are immediately visible, which is how the paper's worked tables iterate)
+and reports whether anything changed.
+
+Monotonicity of the updates guarantees a least fixpoint; the solvers in
+:mod:`repro.dataflow.solver` only control *visit order*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+class EquationSystem(Generic[N]):
+    """One fixpoint problem over nodes of type ``N``."""
+
+    def nodes(self) -> Sequence[N]:
+        """All nodes whose equations must reach fixpoint."""
+        raise NotImplementedError
+
+    def initialize(self) -> None:
+        """Reset all variables to the bottom of their lattices."""
+        raise NotImplementedError
+
+    def update(self, node: N) -> bool:
+        """Recompute ``node``'s variables from current state; return True
+        iff any variable changed.  Must be monotone."""
+        raise NotImplementedError
+
+    def dependents(self, node: N) -> Iterable[N]:
+        """Nodes whose equations read ``node``'s variables — drives the
+        worklist solver.  Must over-approximate the true dependencies."""
+        raise NotImplementedError
+
+    def snapshot(self) -> object:
+        """An immutable view of current state (for per-pass traces); optional."""
+        return None
+
+
+@dataclass
+class SolveStats:
+    """Fixpoint iteration statistics.
+
+    ``passes`` counts *all* round-robin sweeps including the final sweep
+    that verifies nothing changed; ``changing_passes`` counts only sweeps
+    that changed some variable.  The paper's "converges on the second
+    iteration" for Figure 8 is ``changing_passes == 1, passes == 2``;
+    "fixpoint reached in the third iteration" for Figures 11/12 is
+    ``changing_passes == 2, passes == 3``.
+    """
+
+    order: str = ""
+    passes: int = 0
+    changing_passes: int = 0
+    node_updates: int = 0
+    changed_updates: int = 0
+    converged: bool = False
+    snapshots: List[object] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "order": self.order,
+            "passes": self.passes,
+            "changing_passes": self.changing_passes,
+            "node_updates": self.node_updates,
+            "changed_updates": self.changed_updates,
+            "converged": self.converged,
+        }
+
+
+class FixpointDiverged(RuntimeError):
+    """The solver hit its pass budget without converging — with monotone
+    updates over finite lattices this indicates a bug in the equations."""
+
+    def __init__(self, stats: SolveStats):
+        self.stats = stats
+        super().__init__(f"no fixpoint after {stats.passes} passes ({stats.node_updates} updates)")
+
+
+@dataclass
+class VariableMap(Generic[N]):
+    """Tiny helper: one named set-variable per node, with change tracking
+    delegated to a backend ``equals``."""
+
+    name: str
+    values: Dict[N, object] = field(default_factory=dict)
+
+    def get(self, node: N) -> object:
+        return self.values[node]
+
+    def set(self, node: N, value: object, equals) -> bool:
+        """Store ``value``; return True iff it differs from the old value."""
+        old = self.values.get(node)
+        if old is not None and equals(old, value):
+            return False
+        self.values[node] = value
+        return True

@@ -1,0 +1,235 @@
+"""Fixpoint solvers and node orderings.
+
+Two solvers:
+
+``solve_round_robin``
+    Sweep all nodes in a fixed order until a full sweep changes nothing.
+    With ``order="document"`` this reproduces the paper's iteration tables
+    exactly (the paper processes blocks in listing order); the per-pass
+    ``snapshot_passes`` option records state after each sweep so golden
+    tests can compare against the paper's Figure 11 (after pass 1) and
+    Figure 12 (after pass 2).
+
+``solve_worklist``
+    Classic worklist: re-evaluate a node when one of the nodes it depends
+    on changed.  Fewer updates on sparse graphs; same fixpoint.
+
+Orderings (``make_order``): ``document`` (creation order), ``rpo``
+(reverse postorder over control edges — the "depth first traversal" the
+paper cites as converging in ~5 passes), ``reverse-document`` (pessimal for
+forward problems, for the ordering benchmark) and ``random:<seed>``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..pfg.graph import ParallelFlowGraph
+from ..pfg.node import PFGNode
+from .framework import EquationSystem, FixpointDiverged, SolveStats
+
+N = TypeVar("N")
+
+#: Safety budget: monotone systems over finite lattices converge in
+#: O(nodes × lattice height) passes; anything past this is a bug.
+DEFAULT_MAX_PASSES = 10_000
+
+
+def make_order(graph: ParallelFlowGraph, order: str) -> List[PFGNode]:
+    """Resolve an ordering name to a concrete node list."""
+    if order == "document":
+        return graph.document_order()
+    if order == "rpo":
+        return graph.reverse_postorder()
+    if order == "reverse-document":
+        return list(reversed(graph.document_order()))
+    if order.startswith("random"):
+        seed = int(order.split(":", 1)[1]) if ":" in order else 0
+        nodes = graph.document_order()
+        random.Random(seed).shuffle(nodes)
+        return nodes
+    raise ValueError(
+        f"unknown order {order!r}; choose document, rpo, reverse-document or random[:seed]"
+    )
+
+
+def solve_round_robin(
+    system: EquationSystem[N],
+    order: Optional[Sequence[N]] = None,
+    order_name: str = "document",
+    max_passes: int = DEFAULT_MAX_PASSES,
+    snapshot_passes: bool = False,
+) -> SolveStats:
+    """Iterate full sweeps until fixpoint; returns iteration statistics."""
+    nodes = list(order) if order is not None else list(system.nodes())
+    system.initialize()
+    stats = SolveStats(order=order_name)
+    while stats.passes < max_passes:
+        stats.passes += 1
+        changed = False
+        for node in nodes:
+            stats.node_updates += 1
+            if system.update(node):
+                stats.changed_updates += 1
+                changed = True
+        if snapshot_passes:
+            stats.snapshots.append(system.snapshot())
+        if changed:
+            stats.changing_passes += 1
+        else:
+            stats.converged = True
+            return stats
+    raise FixpointDiverged(stats)
+
+
+def solve_worklist(
+    system: EquationSystem[N],
+    order: Optional[Sequence[N]] = None,
+    order_name: str = "worklist",
+    max_updates: Optional[int] = None,
+) -> SolveStats:
+    """Worklist iteration seeded with all nodes (in ``order``)."""
+    nodes = list(order) if order is not None else list(system.nodes())
+    system.initialize()
+    stats = SolveStats(order=order_name)
+    budget = max_updates if max_updates is not None else DEFAULT_MAX_PASSES * max(1, len(nodes))
+    queue = deque(nodes)
+    queued = set(nodes)
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        stats.node_updates += 1
+        if stats.node_updates > budget:
+            raise FixpointDiverged(stats)
+        if system.update(node):
+            stats.changed_updates += 1
+            for dep in system.dependents(node):
+                if dep not in queued:
+                    queued.add(dep)
+                    queue.append(dep)
+    # A worklist run has no notion of sweeps; report update counts only.
+    stats.converged = True
+    stats.passes = 0
+    return stats
+
+
+def solve_stabilized(
+    system,
+    order: Optional[Sequence[N]] = None,
+    order_name: str = "document",
+    max_passes: int = DEFAULT_MAX_PASSES,
+    max_rounds: int = 100,
+) -> SolveStats:
+    """Phase-alternating least-fixpoint solver for the parallel/
+    synchronized systems (DESIGN.md §5, "solver modes").
+
+    The paper's equations mix ascending flow (``In``/``Out``) with
+    subtractive kill sets (``ACCKill``/``ForkKill``/``SynchPass``); the
+    combined system is **not monotone**, and plain chaotic iteration can
+    both fail to terminate and converge to *different* fixpoints depending
+    on visit order (transient facts get trapped in loops — see
+    ``tests/regression/test_fixpoint_multiplicity.py``).
+
+    This driver restores determinism by alternating two phases that are
+    each monotone with the other half frozen, always restarting from ⊥:
+
+    1. **flow phase** — reset ``In``/``Out`` to ∅ and run ``update_flow``
+       sweeps to the least fixpoint given the current kill layer;
+    2. **kill phase** — reset the kill layer to ∅ and run ``update_kill``
+       sweeps to its least fixpoint given the current flow.
+
+    Rounds repeat until a full round leaves the state unchanged.  Each
+    phase result is a least fixpoint of a monotone system, hence
+    independent of sweep order — so the overall result is deterministic
+    and visit-order independent; it is also never less precise than any
+    fixpoint chaotic iteration can reach on the paper's examples
+    (property-tested).
+
+    **Cycle resolution.**  The outer round functional is itself not
+    monotone, so the round sequence can enter a cycle (period-2 cases
+    arise from loop-carried synchronization kills; see
+    ``tests/regression/test_fixpoint_multiplicity.py``).  When a round
+    state repeats, the solver resolves deterministically and soundly: the
+    kill layer is forced to the pointwise **intersection** over the
+    cycle's states — keeping only kill facts justified in *every* state,
+    i.e. erring toward fewer kills / more reaching definitions — and one
+    final flow phase is run.  ``stats.order`` gains a ``+cycle`` suffix
+    when this path triggers.
+
+    The required ``EquationSystem`` surface is ``update_flow``/
+    ``update_kill``/``reset_flow``/``reset_kill``/``snapshot``/
+    ``kill_state``/``set_kill_state``/``meet_values``.
+    """
+    nodes = list(order) if order is not None else list(system.nodes())
+    system.initialize()
+    stats = SolveStats(order=f"stabilized/{order_name}")
+
+    def sweep_to_fixpoint(update) -> None:
+        while True:
+            stats.passes += 1
+            if stats.passes > max_passes:
+                raise FixpointDiverged(stats)
+            changed = False
+            for node in nodes:
+                stats.node_updates += 1
+                if update(node):
+                    stats.changed_updates += 1
+                    changed = True
+            if changed:
+                stats.changing_passes += 1
+            else:
+                return
+
+    sweep_to_fixpoint(system.update_flow)
+    history: List[object] = [system.snapshot()]
+    kill_history: List[object] = [system.kill_state()]
+    for _round in range(max_rounds):
+        system.reset_kill()
+        sweep_to_fixpoint(system.update_kill)
+        system.reset_flow()
+        sweep_to_fixpoint(system.update_flow)
+        current = system.snapshot()
+        if current == history[-1]:
+            stats.converged = True
+            return stats
+        if current in history:
+            # Oscillation: meet the kill layers over the cycle, then one
+            # final flow phase under the (now conservative) frozen kills.
+            start = history.index(current)
+            cycle_kills = kill_history[start:] + [system.kill_state()]
+            system.set_kill_state(_meet_kill_states(system, cycle_kills))
+            system.reset_flow()
+            sweep_to_fixpoint(system.update_flow)
+            stats.order += "+cycle"
+            stats.converged = True
+            return stats
+        history.append(current)
+        kill_history.append(system.kill_state())
+    raise FixpointDiverged(stats)
+
+
+def _meet_kill_states(system, states):
+    """Pointwise intersection of kill-layer states (slot -> node -> set)."""
+    meet = system.meet_values
+    out = {}
+    first = states[0]
+    for slot in first:
+        out[slot] = {}
+        for node in first[slot]:
+            value = first[slot][node]
+            for other in states[1:]:
+                value = meet(value, other[slot][node])
+            out[slot][node] = value
+    return out
+
+
+#: Signature shared by the solvers, for parameterized tests/benchmarks.
+Solver = Callable[..., SolveStats]
+
+SOLVERS = {
+    "round-robin": solve_round_robin,
+    "worklist": solve_worklist,
+    "stabilized": solve_stabilized,
+}

@@ -1,0 +1,148 @@
+"""One-call optimization driver: the whole pipeline behind one function.
+
+``optimize(source_or_program)`` runs parse → PFG → reaching definitions →
+every client analysis, and returns an :class:`OptimizationReport` holding
+the individual results plus a human-readable rendering — the shape a
+compiler integration or a CI check would consume.  Available on the
+command line as ``python -m repro report FILE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .analysis import (
+    Anomaly,
+    CommonSubexpression,
+    ConstantPropagation,
+    CopyPropagation,
+    DeadCodeReport,
+    InductionVariable,
+    SyncIssue,
+    UDChains,
+    compute_ud_chains,
+    find_anomalies,
+    find_common_subexpressions,
+    find_copy_propagations,
+    find_dead_code,
+    find_induction_variables,
+    lint_synchronization,
+    propagate_constants,
+)
+from .lang import ast, parse_program
+from .reachdefs.result import ReachingDefsResult
+
+
+@dataclass
+class OptimizationReport:
+    """Everything the analyses concluded about one program."""
+
+    program: ast.Program
+    result: ReachingDefsResult
+    chains: UDChains
+    anomalies: List[Anomaly]
+    sync_issues: List[SyncIssue]
+    constants: ConstantPropagation
+    induction_variables: List[InductionVariable]
+    dead_code: DeadCodeReport
+    copies: List[CopyPropagation]
+    subexpressions: List[CommonSubexpression]
+    notes: List[str] = field(default_factory=list)
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def is_clean(self) -> bool:
+        """No race-severity anomalies and no blocking synchronization
+        issues — the program is safe to optimize aggressively."""
+        from .analysis import AnomalyKind, SyncIssueKind
+
+        racy = any(
+            a.kind in (AnomalyKind.RACE, AnomalyKind.CROSS_ITERATION)
+            for a in self.anomalies
+        )
+        blocking = any(
+            i.kind is not SyncIssueKind.POST_WITHOUT_WAIT for i in self.sync_issues
+        )
+        return not racy and not blocking
+
+    def opportunity_count(self) -> Dict[str, int]:
+        return {
+            "constant-definitions": len(self.constants.constant_defs()),
+            "induction-variables": len(self.induction_variables),
+            "dead-definitions": len(self.dead_code.dead),
+            "copy-propagations": len(self.copies),
+            "common-subexpressions": len(self.subexpressions),
+        }
+
+    def render(self) -> str:
+        lines: List[str] = [
+            f"optimization report for '{self.program.name}' "
+            f"({self.result.system} equations, "
+            f"{len(self.result.graph)} blocks, "
+            f"{len(self.result.graph.defs)} definitions)",
+            "",
+        ]
+        lines.append("safety:")
+        if not self.anomalies and not self.sync_issues:
+            lines.append("  clean — no anomalies, no synchronization issues")
+        for a in self.anomalies:
+            lines.append(f"  {a.format()}")
+        for issue in self.sync_issues:
+            lines.append(f"  {issue.format()}")
+
+        lines.append("")
+        lines.append("opportunities:")
+        consts = self.constants.constant_defs()
+        for d in sorted(consts, key=lambda d: d.index):
+            lines.append(f"  constant      {d.name} = {consts[d]}")
+        for iv in self.induction_variables:
+            lines.append(f"  induction     {iv.format()}")
+        for d in sorted(self.dead_code.dead, key=lambda d: d.index):
+            lines.append(f"  dead          {d.name}")
+        for c in self.copies:
+            lines.append(f"  copy-prop     {c.format()}")
+        for c in self.subexpressions:
+            lines.append(f"  cse           {c.format()}")
+        if not any(self.opportunity_count().values()):
+            lines.append("  none found")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+
+def optimize(
+    source: Union[str, ast.Program],
+    backend: str = "bitset",
+    preserved: str = "approx",
+    observable_at_exit: bool = True,
+) -> OptimizationReport:
+    """Run the full analysis pipeline on source text or a parsed program."""
+    from . import analyze  # deferred: repro/__init__ imports this module
+
+    program = parse_program(source) if isinstance(source, str) else source
+    result = analyze(program, backend=backend, preserved=preserved)
+
+    notes: List[str] = []
+    if not result.stats.converged:  # pragma: no cover - solvers raise instead
+        notes.append("solver did not converge")
+    if "+cycle" in result.stats.order:
+        notes.append(
+            "stabilized solver resolved an outer-round oscillation "
+            "conservatively (see DESIGN.md §5)"
+        )
+
+    return OptimizationReport(
+        program=program,
+        result=result,
+        chains=compute_ud_chains(result),
+        anomalies=find_anomalies(result),
+        sync_issues=lint_synchronization(result.graph),
+        constants=propagate_constants(result),
+        induction_variables=find_induction_variables(result),
+        dead_code=find_dead_code(result, observable_at_exit=observable_at_exit),
+        copies=find_copy_propagations(result),
+        subexpressions=find_common_subexpressions(result),
+        notes=notes,
+    )

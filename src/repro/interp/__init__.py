@@ -1,0 +1,44 @@
+"""Concurrent interpreter: executable copy-in/copy-out semantics and the
+dynamic soundness oracle for the static analysis."""
+
+from .events import EventState
+from .interp import Interpreter, StepBudgetExceeded, run_program
+from .scheduler import (
+    ExhaustiveExplorer,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .state import Cell, Env, Value, copy_env, merge_candidates
+from .trace import (
+    MergeObservation,
+    RunResult,
+    SoundnessViolation,
+    StmtLocationIndex,
+    UseObservation,
+    check_soundness,
+)
+
+__all__ = [
+    "EventState",
+    "Interpreter",
+    "StepBudgetExceeded",
+    "run_program",
+    "ExhaustiveExplorer",
+    "FixedScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Cell",
+    "Env",
+    "Value",
+    "copy_env",
+    "merge_candidates",
+    "MergeObservation",
+    "RunResult",
+    "SoundnessViolation",
+    "StmtLocationIndex",
+    "UseObservation",
+    "check_soundness",
+]

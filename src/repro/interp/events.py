@@ -1,0 +1,64 @@
+"""Binary event variables at runtime (paper §3).
+
+``post`` sets the event to "posted" — "no matter what its value was
+previously" — and snapshots the poster's shared-variable copies.  ``wait``
+blocks until posted, then absorbs every snapshot published so far.
+``clear`` resets the event and discards its snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .state import Cell, Env, copy_env
+
+
+@dataclass
+class EventState:
+    """Runtime state of one event variable."""
+
+    name: str
+    posted: bool = False
+    snapshots: List[Env] = field(default_factory=list)
+
+    def post(self, env: Env) -> None:
+        self.posted = True
+        self.snapshots.append(copy_env(env))
+
+    def clear(self) -> None:
+        self.posted = False
+        self.snapshots.clear()
+
+    def absorb_into(self, env: Env) -> Dict[str, List[Cell]]:
+        """Merge all posted snapshots into ``env``; the freshest write of
+        each variable (highest sequence number) wins.
+
+        Returns, per variable, the list of *distinct* competing cells seen
+        (waiter's own plus posters') when there was more than one — the
+        paper's "multiple copies of a variable may potentially reach a wait
+        statement" runtime signal.
+        """
+        conflicts: Dict[str, List[Cell]] = {}
+        for snapshot in self.snapshots:
+            for var, cell in snapshot.items():
+                mine = env.get(var)
+                if mine is None:
+                    env[var] = cell
+                    continue
+                if mine.seq == cell.seq and mine.definition is cell.definition:
+                    continue
+                conflicts.setdefault(var, [mine]).append(cell)
+                if cell.seq > mine.seq:
+                    env[var] = cell
+        # Deduplicate conflict lists by producing write.
+        for var, cells in list(conflicts.items()):
+            uniq: List[Cell] = []
+            for c in cells:
+                if not any(u.seq == c.seq and u.definition is c.definition for u in uniq):
+                    uniq.append(c)
+            if len(uniq) > 1:
+                conflicts[var] = uniq
+            else:
+                del conflicts[var]
+        return conflicts

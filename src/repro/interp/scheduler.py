@@ -1,0 +1,188 @@
+"""Schedulers: who runs next, and how nondeterminism resolves.
+
+The interpreter consults its scheduler at three kinds of decision point:
+
+* **thread choice** — which runnable thread takes the next step;
+* **input values** — the value of a *free variable* (read but never
+  assigned, like ``condition`` in the paper's Figure 3); inputs are fixed
+  once per run, like program arguments;
+* **loop decisions** — whether a ``loop``/``endloop`` runs another
+  iteration (bounded by ``max_loop_iters``).
+
+``RandomScheduler`` drives seeded random interleavings;
+``FixedScheduler`` replays a decision tape and records branching factors,
+which :class:`ExhaustiveExplorer` uses to enumerate *all* schedules of
+small programs (bounded DFS over the decision tree).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .state import Value
+
+
+class Scheduler:
+    """Decision oracle for one run."""
+
+    max_loop_iters: int = 3
+
+    def pick_thread(self, runnable: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def free_value(self, var: str) -> Value:
+        raise NotImplementedError
+
+    def loop_decision(self, loop_key: Tuple[int, int], iteration: int) -> bool:
+        """Continue for another iteration?  ``loop_key`` is (thread id,
+        per-thread loop counter); forced False at ``max_loop_iters``."""
+        raise NotImplementedError
+
+    def pardo_iterations(self, loop_key: Tuple[int, int]) -> int:
+        """How many iterations a ``parallel do`` runs this time (the trip
+        count is nondeterministic input, like loop decisions)."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic: lowest thread id first, inputs all ``1``/``True``-ish,
+    every loop runs exactly once."""
+
+    def __init__(self, max_loop_iters: int = 1, input_value: Value = 1):
+        self.max_loop_iters = max_loop_iters
+        self.input_value = input_value
+
+    def pick_thread(self, runnable: Sequence[int]) -> int:
+        return min(runnable)
+
+    def free_value(self, var: str) -> Value:
+        return self.input_value
+
+    def loop_decision(self, loop_key: Tuple[int, int], iteration: int) -> bool:
+        return iteration < self.max_loop_iters
+
+    def pardo_iterations(self, loop_key: Tuple[int, int]) -> int:
+        return max(1, self.max_loop_iters)
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random interleavings, inputs, and loop trip counts."""
+
+    def __init__(self, seed: int = 0, max_loop_iters: int = 3, continue_prob: float = 0.5):
+        self.rng = random.Random(seed)
+        self.max_loop_iters = max_loop_iters
+        self.continue_prob = continue_prob
+
+    def pick_thread(self, runnable: Sequence[int]) -> int:
+        return self.rng.choice(list(runnable))
+
+    def free_value(self, var: str) -> Value:
+        # Inputs skew small so comparisons go both ways; booleans emerge
+        # from comparisons, so integers suffice.
+        return self.rng.choice((0, 1, 2, 7))
+
+    def loop_decision(self, loop_key: Tuple[int, int], iteration: int) -> bool:
+        if iteration >= self.max_loop_iters:
+            return False
+        return self.rng.random() < self.continue_prob
+
+    def pardo_iterations(self, loop_key: Tuple[int, int]) -> int:
+        return self.rng.randint(0, max(1, self.max_loop_iters))
+
+
+@dataclass
+class _DecisionPoint:
+    """One decision taken during a run: which option, out of how many."""
+
+    chosen: int
+    n_options: int
+
+
+class FixedScheduler(Scheduler):
+    """Replays a prefix of decisions, defaulting to option 0 afterwards,
+    and records every decision point — the explorer's probe."""
+
+    def __init__(self, tape: Sequence[int], max_loop_iters: int = 2):
+        self.tape = list(tape)
+        self.max_loop_iters = max_loop_iters
+        self.cursor = 0
+        self.trace: List[_DecisionPoint] = []
+
+    def _decide(self, n_options: int) -> int:
+        if n_options <= 0:
+            raise ValueError("decision with no options")
+        if self.cursor < len(self.tape):
+            choice = self.tape[self.cursor]
+        else:
+            choice = 0
+        choice = min(choice, n_options - 1)
+        self.cursor += 1
+        self.trace.append(_DecisionPoint(chosen=choice, n_options=n_options))
+        return choice
+
+    def pick_thread(self, runnable: Sequence[int]) -> int:
+        options = sorted(runnable)
+        return options[self._decide(len(options))]
+
+    #: Free-variable candidate values explored exhaustively.
+    FREE_CHOICES: Tuple[Value, ...] = (0, 1)
+
+    def free_value(self, var: str) -> Value:
+        return self.FREE_CHOICES[self._decide(len(self.FREE_CHOICES))]
+
+    def loop_decision(self, loop_key: Tuple[int, int], iteration: int) -> bool:
+        if iteration >= self.max_loop_iters:
+            return False
+        # option 0 = exit (so default tapes terminate), option 1 = continue
+        return self._decide(2) == 1
+
+    def pardo_iterations(self, loop_key: Tuple[int, int]) -> int:
+        # option k = run k iterations; option 0 first so default tapes are
+        # minimal.
+        return self._decide(self.max_loop_iters + 1)
+
+
+class ExhaustiveExplorer:
+    """Enumerate every schedule of a program, depth-first over the decision
+    tree, up to ``max_runs``.
+
+    Usage::
+
+        for scheduler in ExhaustiveExplorer(max_loop_iters=1).schedules(run_once):
+            ...   # run_once(scheduler) must execute the program under it
+
+    The driver is stateless-search: each run replays a tape, the recorded
+    branching factors generate sibling tapes.
+    """
+
+    def __init__(self, max_loop_iters: int = 1, max_runs: int = 10_000):
+        self.max_loop_iters = max_loop_iters
+        self.max_runs = max_runs
+
+    def schedules(self, run_once) -> Iterator[FixedScheduler]:
+        """``run_once(scheduler)`` is called for each enumerated schedule;
+        yields the scheduler afterwards so callers can inspect results the
+        callback captured."""
+        stack: List[List[int]] = [[]]
+        runs = 0
+        seen = set()
+        while stack and runs < self.max_runs:
+            tape = stack.pop()
+            key = tuple(tape)
+            if key in seen:
+                continue
+            seen.add(key)
+            scheduler = FixedScheduler(tape, max_loop_iters=self.max_loop_iters)
+            run_once(scheduler)
+            runs += 1
+            yield scheduler
+            # Generate sibling tapes: for each decision past the prescribed
+            # prefix, branch to every untaken option.
+            for i in range(len(tape), len(scheduler.trace)):
+                point = scheduler.trace[i]
+                prefix = [p.chosen for p in scheduler.trace[:i]]
+                for alt in range(point.n_options - 1, 0, -1):
+                    if alt != point.chosen:
+                        stack.append(prefix + [alt])

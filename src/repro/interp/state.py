@@ -1,0 +1,66 @@
+"""Runtime state for the concurrent interpreter.
+
+The interpreter implements the **copy-in/copy-out** memory model the paper
+assumes (§3): each section of a ``Parallel Sections`` construct gets its
+own copy of the shared variables at the fork; copies merge at the join;
+``post`` publishes the poster's copies to the event; ``wait`` absorbs them.
+
+Every variable cell carries *definition provenance* — which static
+definition produced the value, and a global write sequence number — so
+executions double as a dynamic reaching-definitions oracle for the static
+analysis (``tests/property/test_soundness.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..ir.defs import Definition
+
+Value = Union[int, bool]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One variable's runtime state: value, producing definition (``None``
+    for nondeterministic inputs / free variables), and the global write
+    sequence number (total order of actual writes — absorbed copies keep
+    the poster's original number)."""
+
+    value: Value
+    definition: Optional[Definition]
+    seq: int
+
+    def describe(self) -> str:
+        who = self.definition.name if self.definition else "input"
+        return f"{self.value} (from {who}@{self.seq})"
+
+
+#: An environment: variable name -> cell.  Cells are immutable, so copying
+#: an environment is a shallow dict copy.
+Env = Dict[str, Cell]
+
+
+def copy_env(env: Env) -> Env:
+    return dict(env)
+
+
+def merge_candidates(fork_snapshot: Env, child_envs) -> Dict[str, list]:
+    """Join-time merge candidates per variable (paper §3: "the copies from
+    the different threads are merged with the global values").
+
+    A child *contributed* a variable iff its final cell differs from the
+    fork-time cell (different producing write).  Returns only variables
+    with at least one contribution; others keep the parent value.
+    """
+    out: Dict[str, list] = {}
+    for child in child_envs:
+        for var, cell in child.items():
+            base = fork_snapshot.get(var)
+            if base is not None and base.seq == cell.seq and base.definition is cell.definition:
+                continue  # unchanged inherited copy
+            bucket = out.setdefault(var, [])
+            if not any(c.seq == cell.seq and c.definition is cell.definition for c in bucket):
+                bucket.append(cell)
+    return out

@@ -1,0 +1,13 @@
+"""Shared intermediate-representation pieces: definition sites, symbols."""
+
+from .defs import Definition, DefTable, Use
+from .symbols import SymbolTable, build_symbol_table, check_events
+
+__all__ = [
+    "Definition",
+    "DefTable",
+    "Use",
+    "SymbolTable",
+    "build_symbol_table",
+    "check_events",
+]

@@ -1,0 +1,74 @@
+"""Symbol information: scalar variables and event variables.
+
+A light semantic layer over the AST.  ``check_events`` enforces the
+well-formedness the paper assumes (``post``/``wait``/``clear`` only name
+declared events; events and scalars do not collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..lang import ast
+from ..lang.errors import SemanticError
+
+
+@dataclass
+class SymbolTable:
+    """Variables and events of one program."""
+
+    variables: Tuple[str, ...]
+    events: Tuple[str, ...]
+    free_variables: Tuple[str, ...] = field(default=())
+    """Variables read somewhere but never assigned — the interpreter treats
+    these as nondeterministic inputs (e.g. ``condition`` in the paper's
+    Figure 3)."""
+
+    def is_event(self, name: str) -> bool:
+        return name in self.events
+
+    def is_variable(self, name: str) -> bool:
+        return name in self.variables
+
+
+def build_symbol_table(program: ast.Program) -> SymbolTable:
+    """Collect symbols and run the event well-formedness checks."""
+    check_events(program)
+    assigned = program.assigned_variables()
+    used = program.used_variables()
+    events = set(program.events)
+    variables: List[str] = []
+    seen: Set[str] = set()
+    for name in (*assigned, *used):
+        if name not in seen and name not in events:
+            seen.add(name)
+            variables.append(name)
+    free = tuple(v for v in used if v not in set(assigned) and v not in events)
+    return SymbolTable(variables=tuple(variables), events=tuple(program.events), free_variables=free)
+
+
+def check_events(program: ast.Program) -> None:
+    """Raise :class:`SemanticError` on event misuse.
+
+    Checks: sync statements name declared events; declared events are not
+    also used as scalar variables.
+    """
+    declared = set(program.events)
+    for stmt in program.walk():
+        if isinstance(stmt, (ast.Post, ast.Wait, ast.Clear)):
+            if stmt.event not in declared:
+                kind = type(stmt).__name__.lower()
+                raise SemanticError(f"{kind} on undeclared event {stmt.event!r}", stmt.span)
+        elif isinstance(stmt, ast.Assign):
+            if stmt.target in declared:
+                raise SemanticError(
+                    f"event {stmt.target!r} cannot be assigned like a scalar", stmt.span
+                )
+            for v in stmt.expr.variables():
+                if v in declared:
+                    raise SemanticError(f"event {v!r} cannot be read as a scalar", stmt.span)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            for v in stmt.cond.variables():
+                if v in declared:
+                    raise SemanticError(f"event {v!r} cannot be read as a scalar", stmt.span)

@@ -1,0 +1,351 @@
+"""Abstract syntax tree for the mini-PCF language.
+
+The tree mirrors the constructs the paper's analysis consumes:
+
+* straight-line scalar assignments,
+* sequential branches (``if .. then .. else .. endif``),
+* sequential loops (``loop .. endloop`` — a nondeterministically repeated
+  loop, matching the paper's Figure 1/3 examples — and ``while``),
+* the ``Parallel Sections`` construct with named sections, arbitrarily
+  nested,
+* event synchronization: ``post(ev)``, ``wait(ev)``, ``clear(ev)``.
+
+Every node carries a :class:`~repro.lang.errors.SourceSpan`; statements
+additionally carry an optional ``label`` used to give PFG nodes the same
+numbering as the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from .errors import NO_SPAN, SourceSpan
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions (immutable, hashable)."""
+
+    def variables(self) -> Tuple[str, ...]:
+        """All variable names read by this expression, in source order."""
+        out: List[str] = []
+        self._collect_vars(out)
+        # preserve order, drop duplicates
+        seen = set()
+        uniq = []
+        for v in out:
+            if v not in seen:
+                seen.add(v)
+                uniq.append(v)
+        return tuple(uniq)
+
+    def _collect_vars(self, out: List[str]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def _collect_vars(self, out: List[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+    def _collect_vars(self, out: List[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def _collect_vars(self, out: List[str]) -> None:
+        out.append(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Binary operators, by surface syntax.
+BINARY_OPS = ("+", "-", "*", "/", "%", "==", "/=", "<", "<=", ">", ">=", "and", "or")
+UNARY_OPS = ("-", "not")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def _collect_vars(self, out: List[str]) -> None:
+        self.left._collect_vars(out)
+        self.right._collect_vars(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def _collect_vars(self, out: List[str]) -> None:
+        self.operand._collect_vars(out)
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})" if self.op == "not" else f"(-{self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Stmt:
+    """Base class for statements.
+
+    ``label`` is an optional user-facing name for the statement; the paper
+    labels statements with the basic-block numbers of its figures (so a
+    definition of ``x`` at label ``4`` prints as ``x4``).  The PFG builder
+    honours labels when forming extended basic blocks.
+    """
+
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+    label: Optional[str] = field(default=None, kw_only=True)
+
+    def children(self) -> Iterator["Stmt"]:
+        """Immediate sub-statements (for generic walkers)."""
+        return iter(())
+
+    def walk(self) -> Iterator["Stmt"]:
+        """This statement and all statements below it, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(eq=False)
+class Skip(Stmt):
+    """No-op statement; useful for labelling otherwise-empty blocks."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt] = field(default_factory=list)
+    end_label: Optional[str] = field(default=None, kw_only=True)
+    """Label on the ``endif`` line; names the merge block (paper: ``(6) endif``)."""
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.then_body
+        yield from self.else_body
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+    end_label: Optional[str] = field(default=None, kw_only=True)
+    """Label on the ``endwhile`` line; names the latch block."""
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.body
+
+
+@dataclass(eq=False)
+class Loop(Stmt):
+    """``loop .. endloop``: a sequential loop repeated a nondeterministic
+    number of times (at least once per the paper's examples, but the
+    analysis treats the trip count as unknown: the loop may also exit
+    after any iteration)."""
+
+    body: List[Stmt]
+    end_label: Optional[str] = field(default=None, kw_only=True)
+    """Label on the ``endloop`` line; names the latch block (paper: ``(7) endloop``)."""
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.body
+
+
+@dataclass(eq=False)
+class Section(Stmt):
+    """One parallel section (a thread) of a ``Parallel Sections`` construct."""
+
+    name: str
+    body: List[Stmt]
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.body
+
+
+@dataclass(eq=False)
+class ParallelSections(Stmt):
+    """The PCF ``Parallel Sections`` construct: every section executes,
+    conceptually in parallel, and the construct completes when all do."""
+
+    sections: List[Section]
+    end_label: Optional[str] = field(default=None, kw_only=True)
+    """Label on the ``end parallel sections`` line; names the join block
+    (paper: ``(11) End Parallel Sections``)."""
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.sections
+
+
+@dataclass(eq=False)
+class ParallelDo(Stmt):
+    """The PCF ``Parallel Do`` construct (the paper's §7 future work).
+
+    ``parallel do i … end parallel do``: the body executes once per
+    iteration, iterations conceptually in parallel, each with its own
+    copy of the shared variables (copy-in/copy-out) and a private,
+    read-only index ``i``.  The trip count is not modelled (it may be
+    zero), mirroring how ``loop`` leaves its count open.
+    """
+
+    index: str
+    body: List[Stmt]
+    end_label: Optional[str] = field(default=None, kw_only=True)
+    """Label on the ``end parallel do`` line; names the merge block."""
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.body
+
+
+@dataclass(eq=False)
+class Post(Stmt):
+    """Mark ``event`` as posted (and, under copy-in/copy-out semantics,
+    make this thread's shared-variable copies visible to waiters)."""
+
+    event: str
+
+    def __str__(self) -> str:
+        return f"post({self.event})"
+
+
+@dataclass(eq=False)
+class Wait(Stmt):
+    """Block until ``event`` is posted; absorb posters' variable copies."""
+
+    event: str
+
+    def __str__(self) -> str:
+        return f"wait({self.event})"
+
+
+@dataclass(eq=False)
+class Clear(Stmt):
+    """Reset ``event`` to un-posted."""
+
+    event: str
+
+    def __str__(self) -> str:
+        return f"clear({self.event})"
+
+
+def structurally_equal(a: object, b: object) -> bool:
+    """Structural AST equality, ignoring source spans.
+
+    Statements compare by identity under ``==`` (so they can live in hash
+    maps and ``list.index`` is positional); tests that need tree equality —
+    parser/pretty-printer round-trips, generator determinism — use this.
+    """
+    if isinstance(a, Expr) or isinstance(b, Expr):
+        return a == b  # expressions are frozen dataclasses: structural
+    if isinstance(a, (Stmt, Program)) != isinstance(b, (Stmt, Program)):
+        return False
+    if isinstance(a, (Stmt, Program)):
+        if type(a) is not type(b):
+            return False
+        for name in a.__dataclass_fields__:  # type: ignore[union-attr]
+            if name == "span":
+                continue
+            va, vb = getattr(a, name), getattr(b, name)
+            if isinstance(va, list):
+                if not isinstance(vb, list) or len(va) != len(vb):
+                    return False
+                if not all(structurally_equal(x, y) for x, y in zip(va, vb)):
+                    return False
+            elif not structurally_equal(va, vb):
+                return False
+        return True
+    return a == b
+
+
+@dataclass(eq=False)
+class Program:
+    """A complete compilation unit."""
+
+    name: str
+    events: List[str]
+    body: List[Stmt]
+    span: SourceSpan = NO_SPAN
+
+    def walk(self) -> Iterator[Stmt]:
+        for stmt in self.body:
+            yield from stmt.walk()
+
+    def assigned_variables(self) -> Tuple[str, ...]:
+        """All variables assigned anywhere in the program, in order."""
+        seen = set()
+        out: List[str] = []
+        for stmt in self.walk():
+            if isinstance(stmt, Assign) and stmt.target not in seen:
+                seen.add(stmt.target)
+                out.append(stmt.target)
+        return tuple(out)
+
+    def used_variables(self) -> Tuple[str, ...]:
+        """All variables read anywhere in the program, in order."""
+        seen = set()
+        out: List[str] = []
+        for stmt in self.walk():
+            exprs: List[Expr] = []
+            if isinstance(stmt, Assign):
+                exprs.append(stmt.expr)
+            elif isinstance(stmt, (If, While)):
+                exprs.append(stmt.cond)
+            for e in exprs:
+                for v in e.variables():
+                    if v not in seen:
+                        seen.add(v)
+                        out.append(v)
+        return tuple(out)

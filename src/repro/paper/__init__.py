@@ -1,0 +1,6 @@
+"""Paper artifacts: the example programs, golden data-flow sets, and
+regeneration of every table and figure in the paper."""
+
+from .programs import SOURCES, graph, program
+
+__all__ = ["SOURCES", "graph", "program"]

@@ -1,0 +1,305 @@
+"""Golden data-flow sets for the paper's tables and figures.
+
+Provenance key (per EXPERIMENTS.md):
+
+* entries marked in the comments as *paper-verbatim* were read directly
+  from the paper's Table 1 / Figure 8 / Figures 11–12 (where the scanned
+  tables are legible) or from prose claims in §§1, 5, 6;
+* the remaining entries were **derived by hand** from the paper's
+  equations (Figures 7 and 10) before the implementation existed, then
+  frozen here; the legible paper entries pin the derivation.
+
+Definition naming: the paper subscripts definitions with block numbers
+(``x4``); definitions in the ``Entry`` block print as ``xEntry`` here
+(the paper uses ``x0``/``y0``).
+
+All sets are frozensets of definition-name strings; nodes are keyed by
+block name.  ``EXPECTED_PASSES`` records the paper's convergence claims
+(counting as DESIGN.md §2: "converges on the second iteration" =
+1 changing pass + 1 verification pass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+Row = Mapping[str, FrozenSet[str]]
+Table = Dict[str, Row]
+
+
+def _t(raw: Dict[str, Dict[str, set]]) -> Table:
+    return {node: {col: frozenset(vals) for col, vals in row.items()} for node, row in raw.items()}
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — sequential reaching definitions for Figure 1(a).
+# Paper-verbatim rows (legible in the scan): Gen/Kill for (1),(4),(5),(6);
+# In(2)..In(6); the Gen/Kill structure of Entry/Exit.  In/Out for (2),(6)
+# at fixpoint are paper-verbatim; the loop-carried closure of the others
+# is derived (the paper's scan garbles those cells).
+# ---------------------------------------------------------------------------
+
+TABLE1_FIXPOINT: Table = _t(
+    {
+        "Entry": {"Gen": set(), "Kill": set(), "In": set(), "Out": set()},
+        "1": {"Gen": {"j1", "k1"}, "Kill": {"j4", "k5"}, "In": set(), "Out": {"j1", "k1"}},
+        "2": {
+            "Gen": set(),
+            "Kill": set(),
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k1", "k5", "l6"},
+        },
+        "3": {
+            "Gen": set(),
+            "Kill": set(),
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k1", "k5", "l6"},
+        },
+        "4": {
+            "Gen": {"j4"},
+            "Kill": {"j1"},
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j4", "k1", "k5", "l6"},
+        },
+        "5": {
+            "Gen": {"k5"},
+            "Kill": {"k1"},
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k5", "l6"},
+        },
+        "6": {
+            "Gen": {"l6"},
+            "Kill": set(),
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k1", "k5", "l6"},
+        },
+        "7": {
+            "Gen": set(),
+            "Kill": set(),
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k1", "k5", "l6"},
+        },
+        "Exit": {
+            "Gen": set(),
+            "Kill": set(),
+            "In": {"j1", "j4", "k1", "k5", "l6"},
+            "Out": {"j1", "j4", "k1", "k5", "l6"},
+        },
+    }
+)
+
+#: First-iteration In sets of Table 1 (paper-verbatim where legible):
+#: before the loop-carried defs arrive, In(2..6) = {j1, k1}.
+TABLE1_ITER1_IN: Dict[str, FrozenSet[str]] = {
+    "1": frozenset(),
+    "2": frozenset({"j1", "k1"}),
+    "3": frozenset({"j1", "k1"}),
+    "4": frozenset({"j1", "k1"}),
+    "5": frozenset({"j1", "k1"}),
+    "6": frozenset({"j1", "j4", "k1", "k5"}),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 8 — all sets for the Figure 6 program at fixpoint (the paper's
+# single shown iteration equals the fixpoint: "converges on the second
+# iteration ... the first iteration is the same as the second").
+# Paper-verbatim: the Gen/Kill/ParKill table; ACCKillout(3) = {a1,b1};
+# ACCKillout(5) = {b1}; ACCKillout(7) = {c1}; ACCKillin(8) = ∅;
+# In(9) = {a1,b5,c1,c7}; In(10) = {a3,b3,b5,c1,c7}; Out(10) ∋ b3,b5,d10;
+# ACCKillout(10) ∋ b1, ∌ c1 (prose).  Remainder derived.
+# ---------------------------------------------------------------------------
+
+FIG8_FIXPOINT: Table = _t(
+    {
+        "Entry": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(), "In": set(), "Out": set(),
+            "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(),
+        },
+        "1": {
+            "Gen": {"a1", "b1", "c1"}, "Kill": {"a3", "b3", "b5", "c7"}, "ParallelKill": set(),
+            "In": set(), "Out": {"a1", "b1", "c1"},
+            "ACCKillin": set(), "ACCKillout": {"a3", "b3", "b5", "c7"}, "ForkKill": set(),
+        },
+        "2": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a1", "b1", "c1"}, "Out": {"a1", "b1", "c1"},
+            "ACCKillin": {"a3", "b3", "b5", "c7"}, "ACCKillout": set(),
+            "ForkKill": {"a3", "b3", "b5", "c7"},
+        },
+        "3": {
+            "Gen": {"a3", "b3"}, "Kill": {"a1", "b1"}, "ParallelKill": {"b5"},
+            "In": {"a1", "b1", "c1"}, "Out": {"a3", "b3", "c1"},
+            "ACCKillin": set(), "ACCKillout": {"a1", "b1"}, "ForkKill": set(),
+        },
+        "4": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a1", "b1", "c1"}, "Out": {"a1", "b1", "c1"},
+            "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(),
+        },
+        "5": {
+            "Gen": {"b5"}, "Kill": {"b1"}, "ParallelKill": {"b3"},
+            "In": {"a1", "b1", "c1"}, "Out": {"a1", "b5", "c1"},
+            "ACCKillin": set(), "ACCKillout": {"b1"}, "ForkKill": set(),
+        },
+        "6": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a1", "b1", "c1"}, "Out": {"a1", "b1", "c1"},
+            "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(),
+        },
+        "7": {
+            "Gen": {"c7"}, "Kill": {"c1"}, "ParallelKill": set(),
+            "In": {"a1", "b1", "c1"}, "Out": {"a1", "b1", "c7"},
+            "ACCKillin": set(), "ACCKillout": {"c1"}, "ForkKill": set(),
+        },
+        "8": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a1", "b1", "c1", "c7"}, "Out": {"a1", "b1", "c1", "c7"},
+            "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(),
+        },
+        "9": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a1", "b5", "c1", "c7"}, "Out": {"a1", "b5", "c1", "c7"},
+            "ACCKillin": {"b1"}, "ACCKillout": {"b1"}, "ForkKill": set(),
+        },
+        "10": {
+            "Gen": {"d10"}, "Kill": set(), "ParallelKill": set(),
+            "In": {"a3", "b3", "b5", "c1", "c7"},
+            "Out": {"a3", "b3", "b5", "c1", "c7", "d10"},
+            "ACCKillin": {"a1", "b1"}, "ACCKillout": {"a1", "b1"}, "ForkKill": set(),
+        },
+        "Exit": {
+            "Gen": set(), "Kill": set(), "ParallelKill": set(),
+            "In": {"a3", "b3", "b5", "c1", "c7", "d10"},
+            "Out": {"a3", "b3", "b5", "c1", "c7", "d10"},
+            "ACCKillin": {"a1", "b1"}, "ACCKillout": {"a1", "b1"}, "ForkKill": set(),
+        },
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Figure 3 program: local sets (paper-verbatim for nodes 4,5,6,8,9 per the
+# Figure 11 Gen/Kill/ParKill table and the §6 prose about ParallelKill at
+# nodes 6 and 9), plus the per-iteration tables of Figures 11 and 12.
+# The paper writes Entry-block definitions as x0/y0; here xEntry/yEntry.
+# ---------------------------------------------------------------------------
+
+FIG3_LOCAL: Table = _t(
+    {
+        "Entry": {"Gen": {"xEntry", "yEntry"}, "Kill": {"x4", "x5", "x8", "y11"}, "ParallelKill": set()},
+        "1": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "2": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "3": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "4": {"Gen": {"x4"}, "Kill": {"x5", "xEntry"}, "ParallelKill": {"x8"}},
+        "5": {"Gen": {"x5"}, "Kill": {"x4", "xEntry"}, "ParallelKill": {"x8"}},
+        "6": {"Gen": {"z6"}, "Kill": set(), "ParallelKill": {"z9"}},
+        "7": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "8": {"Gen": {"x8"}, "Kill": {"xEntry"}, "ParallelKill": {"x4", "x5"}},
+        "9": {"Gen": {"z9"}, "Kill": set(), "ParallelKill": {"z6"}},
+        "10": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "11": {"Gen": {"y11"}, "Kill": {"yEntry"}, "ParallelKill": set()},
+        "12": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+        "Exit": {"Gen": set(), "Kill": set(), "ParallelKill": set()},
+    }
+)
+
+#: Figure 11 — state after iteration 1.  Paper-verbatim cells include
+#: In(8)={x4,x5,y0}, Out(8)={x8,y0}, ACCKillin(8)={x4,x5},
+#: ACCKillout(8)={x0,x4,x5}, In(10)={x8,y0,z9}, In(11)={x8,y0,z6,z9},
+#: Out(11)={x8,y11,z6,z9}; the rest is derived.
+FIG11_ITER1: Table = _t(
+    {
+        "Entry": {"In": set(), "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": {"x4", "x5", "x8", "y11"}, "ForkKill": set(), "SynchPass": set()},
+        "1": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "2": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "3": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "4": {"In": {"xEntry", "yEntry"}, "Out": {"x4", "yEntry"}, "ACCKillin": set(), "ACCKillout": {"x5", "xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "5": {"In": {"xEntry", "yEntry"}, "Out": {"x5", "yEntry"}, "ACCKillin": set(), "ACCKillout": {"x4", "xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "6": {"In": {"x4", "x5", "yEntry"}, "Out": {"x4", "x5", "yEntry", "z6"}, "ACCKillin": {"xEntry"}, "ACCKillout": {"xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "7": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "8": {"In": {"x4", "x5", "yEntry"}, "Out": {"x8", "yEntry"}, "ACCKillin": {"x4", "x5"}, "ACCKillout": {"x4", "x5", "xEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "9": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry", "z9"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "10": {"In": {"x8", "yEntry", "z9"}, "Out": {"x8", "yEntry", "z9"}, "ACCKillin": {"x4", "x5", "xEntry"}, "ACCKillout": {"x4", "x5", "xEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "11": {"In": {"x8", "yEntry", "z6", "z9"}, "Out": {"x8", "y11", "z6", "z9"}, "ACCKillin": {"x4", "x5", "xEntry", "yEntry"}, "ACCKillout": {"x4", "x5", "xEntry", "yEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "12": {"In": {"x8", "y11", "z6", "z9"}, "Out": {"x8", "y11", "z6", "z9"}, "ACCKillin": {"x4", "x5", "xEntry", "yEntry"}, "ACCKillout": {"x4", "x5", "xEntry", "yEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "Exit": {"In": {"xEntry", "yEntry"}, "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+    }
+)
+
+#: Figure 12 — state after iteration 2 (= the fixpoint; the paper's third
+#: iteration verifies it).  Paper-verbatim anchors: x4,x5 ∉ In(11);
+#: ACCKillout(11) ∋ x4,x5; z6,z9 ∈ In(11); Out(6) ∌ z9; Out(9) ∌ z6.
+FIG12_ITER2: Table = _t(
+    {
+        "Entry": {"In": set(), "Out": {"xEntry", "yEntry"}, "ACCKillin": set(), "ACCKillout": {"x4", "x5", "x8", "y11"}, "ForkKill": set(), "SynchPass": set()},
+        "1": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "ACCKillin": {"x4", "x5"}, "ACCKillout": {"x4", "x5"}, "ForkKill": set(), "SynchPass": set()},
+        "2": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "ACCKillin": {"x4", "x5"}, "ACCKillout": set(), "ForkKill": {"x4", "x5"}, "SynchPass": set()},
+        "3": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "4": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x4", "y11", "yEntry", "z6", "z9"}, "ACCKillin": set(), "ACCKillout": {"x5", "xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "5": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x5", "y11", "yEntry", "z6", "z9"}, "ACCKillin": set(), "ACCKillout": {"x4", "xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "6": {"In": {"x4", "x5", "y11", "yEntry", "z6", "z9"}, "Out": {"x4", "x5", "y11", "yEntry", "z6"}, "ACCKillin": {"xEntry"}, "ACCKillout": {"xEntry"}, "ForkKill": set(), "SynchPass": set()},
+        "7": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "8": {"In": {"x4", "x5", "x8", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "y11", "yEntry", "z6", "z9"}, "ACCKillin": {"x4", "x5"}, "ACCKillout": {"x4", "x5", "xEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "9": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z9"}, "ACCKillin": set(), "ACCKillout": set(), "ForkKill": set(), "SynchPass": set()},
+        "10": {"In": {"x8", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "y11", "yEntry", "z6", "z9"}, "ACCKillin": {"x4", "x5", "xEntry"}, "ACCKillout": {"x4", "x5", "xEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "11": {"In": {"x8", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "y11", "z6", "z9"}, "ACCKillin": {"x4", "x5", "xEntry", "yEntry"}, "ACCKillout": {"x4", "x5", "xEntry", "yEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "12": {"In": {"x8", "y11", "z6", "z9"}, "Out": {"x8", "y11", "z6", "z9"}, "ACCKillin": {"x4", "x5", "xEntry", "yEntry"}, "ACCKillout": {"x4", "x5", "xEntry", "yEntry"}, "ForkKill": set(), "SynchPass": {"x4", "x5", "yEntry"}},
+        "Exit": {"In": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "Out": {"x8", "xEntry", "y11", "yEntry", "z6", "z9"}, "ACCKillin": {"x4", "x5"}, "ACCKillout": {"x4", "x5"}, "ForkKill": set(), "SynchPass": set()},
+    }
+)
+
+#: Preserved(8) for Figure 3 — paper-verbatim (§6).
+FIG3_PRESERVED_8: FrozenSet[str] = frozenset({"Entry", "1", "2", "3", "4", "5", "7"})
+
+#: Convergence claims (changing passes, total passes), document order.
+EXPECTED_PASSES = {
+    "table1": (2, 3),  # "shows two iterations; the third is the same as the second"
+    "fig8": (1, 2),    # "converges on the second iteration"
+    "fig11_12": (2, 3),  # "the fix point is reached in the third iteration"
+}
+
+#: Figure 2 — CFG of Figure 1(a): edges as (src, dst) block names.
+FIG2_CFG_EDGES = frozenset(
+    {
+        ("Entry", "1"),
+        ("1", "2"),
+        ("2", "3"),       # loop header -> body
+        ("2", "Exit"),    # loop exit
+        ("3", "4"),       # then
+        ("3", "5"),       # else
+        ("4", "6"),
+        ("5", "6"),
+        ("6", "7"),
+        ("7", "2"),       # back edge
+    }
+)
+
+#: Figure 4 — PFG of Figure 3: edges as (src, dst, kind) with kind in
+#: {"seq", "par", "sync"}.
+FIG4_PFG_EDGES = frozenset(
+    {
+        ("Entry", "1", "seq"),
+        ("1", "2", "seq"),
+        ("1", "Exit", "seq"),
+        ("2", "3", "par"),
+        ("2", "7", "par"),
+        ("3", "4", "seq"),
+        ("3", "5", "seq"),
+        ("4", "6", "seq"),
+        ("5", "6", "seq"),
+        ("4", "8", "sync"),
+        ("5", "8", "sync"),
+        ("6", "11", "par"),
+        ("7", "8", "par"),
+        ("7", "9", "par"),
+        ("8", "10", "par"),
+        ("9", "10", "par"),
+        ("10", "11", "par"),
+        ("11", "12", "seq"),
+        ("12", "1", "seq"),
+    }
+)
+
+#: Figure 9's claims: only the wait-node definition of x reaches the join;
+#: the fork-side definition is in the post block's ACCKillout.
+FIG9_JOIN_IN: FrozenSet[str] = frozenset({"x5", "y4"})
+FIG9_POST_ACCKILLOUT: FrozenSet[str] = frozenset({"x1", "y1"})

@@ -1,0 +1,187 @@
+"""The paper's example programs, in mini-PCF source.
+
+Each program is written with the paper's block labels so the resulting
+CFG/PFG node names and definition names (``j4``, ``x5``, ...) match the
+figures exactly.  Where the paper's listing is ambiguous (OCR noise,
+implicit ``endif``), the reconstruction is pinned down by the worked tables
+— see EXPERIMENTS.md for the reasoning per figure.
+
+* :data:`FIG1A_SEQUENTIAL` — Figure 1(a): sequential loop with a
+  conditional; Table 1 / Figure 2 baseline.  Reconstruction note: the
+  listing elides the ``else``; Table 1's ``In(5) = {j1,k1}`` (not
+  ``{j4,k1}``) shows blocks (4) and (5) are *alternative branches*, and
+  ``In(6) = {j1,k1,j4,k5}`` shows (6) is the merge — i.e. the conditional
+  is ``if c then j=j+1 else k=5``, mirroring the two parallel sections of
+  Figure 1(b) ("very similar control flow structures").
+* :data:`FIG1B_PARALLEL` — Figure 1(b): same shape with ``Parallel
+  Sections``; motivates induction-variable detection (``j``) and constant
+  propagation (``k = 5`` at construct end).
+* :data:`FIG3_SYNC` — Figure 3: nested sections in a loop with
+  ``post``/``wait`` on event ``ev``; Figures 4, 11, 12.
+* :data:`FIG5A_SEQUENTIAL` / :data:`FIG5B_PARALLEL` — Figure 5: the
+  sequential-vs-parallel merge-semantics comparison.
+* :data:`FIG6_PARALLEL` — Figure 6 (the program of Figure 5(B) with the
+  conditional definition of ``c``); Figure 8's worked example.
+* :data:`FIG9_SYNC` — Figure 9's synchronization PFG as a program.  The
+  figure's fork node carries the definitions ``x``/``y``; our builder keeps
+  fork nodes statement-free, so those definitions sit in the block *before*
+  the fork — data-flow equivalent (same In set at the fork's sections).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast, parse_program
+from ..pfg import ParallelFlowGraph, build_pfg
+
+FIG1A_SEQUENTIAL = """\
+program fig1a
+  (1) j = 0
+  (1) k = 1
+  (2) loop
+    (3) if condition then
+      (4) j = j + 1
+    else
+      (5) k = 5
+    (6) endif
+    (6) l = k + 4
+  (7) endloop
+end program
+"""
+
+FIG1B_PARALLEL = """\
+program fig1b
+  (1) j = 0
+  (1) k = 1
+  (2) loop
+    (3) parallel sections
+      (4) section A
+        (4) j = j + 1
+      (5) section B
+        (5) k = 5
+    (6) end parallel sections
+    (6) l = k + 4
+  (7) endloop
+end program
+"""
+
+FIG3_SYNC = """\
+program fig3
+  event ev
+  (Entry) x = 2
+  (Entry) y = 5
+  (1) loop
+    (2) parallel sections
+      (3) section A
+        (3) if condition then
+          (4) x = 7
+          (4) post(ev)
+        else
+          (5) x = 8
+          (5) post(ev)
+        (6) endif
+        (6) z = y * 7
+      (7) section B
+        (7) parallel sections
+          (8) section B1
+            (8) wait(ev)
+            (8) x = x * 32
+          (9) section B2
+            (9) z = y * 54
+        (10) end parallel sections
+    (11) end parallel sections
+    (11) y = x * z
+  (12) endloop
+end program
+"""
+
+#: Figure 3, made executable.  The paper notes its Figure 3 "would not
+#: execute properly" because ``ev`` is never cleared between loop
+#: iterations — a stale posted event lets the wait proceed *before* the
+#: current iteration's post, violating the synchronization-correctness
+#: assumption the §6 equations (and Callahan–Subhlok's Preserved sets)
+#: rest on.  Clearing the event at the top of each iteration restores the
+#: assumption; the interpreter-based soundness tests use this variant
+#: (and use the broken original to *demonstrate* the caveat).
+FIG3_SYNC_CLEARED = FIG3_SYNC.replace("program fig3", "program fig3c").replace(
+    "  (1) loop\n", "  (1) loop\n    clear(ev)\n"
+)
+
+FIG5A_SEQUENTIAL = """\
+program fig5a
+  (1) a = 0
+  (1) b = 1
+  (2) if condition then
+    (3) a = a + 1
+    (3) b = 7
+  else
+    (4) b = 5
+  endif
+  (5) c = a * b
+end program
+"""
+
+FIG5B_PARALLEL = """\
+program fig5b
+  (1) a = 0
+  (1) b = 1
+  (1) c = 2
+  (2) parallel sections
+    (3) section A
+      (3) a = a + 1
+      (3) b = 7
+    (4) section B
+      (4) parallel sections
+        (5) section B1
+          (5) b = 5
+        (6) section B2
+          (6) if P then
+            (7) c = 6
+          (8) endif
+      (9) end parallel sections
+  (10) end parallel sections
+  (10) d = a * b + c
+end program
+"""
+
+#: Figure 6 is the same program as Figure 5(B); the paper presents it twice
+#: (once for the merge discussion, once for the worked equations).
+FIG6_PARALLEL = FIG5B_PARALLEL.replace("program fig5b", "program fig6")
+
+FIG9_SYNC = """\
+program fig9
+  event ev
+  (1) x = 1
+  (1) y = 2
+  (2) parallel sections
+    (3) section P1
+      (3) x = 3
+      (3) post(ev)
+      (4) y = 3
+    (5) section P2
+      (5) wait(ev)
+      (5) x = x * 2
+  (6) end parallel sections
+end program
+"""
+
+#: All paper programs by figure key.
+SOURCES = {
+    "fig1a": FIG1A_SEQUENTIAL,
+    "fig1b": FIG1B_PARALLEL,
+    "fig3": FIG3_SYNC,
+    "fig3c": FIG3_SYNC_CLEARED,
+    "fig5a": FIG5A_SEQUENTIAL,
+    "fig5b": FIG5B_PARALLEL,
+    "fig6": FIG6_PARALLEL,
+    "fig9": FIG9_SYNC,
+}
+
+
+def program(key: str) -> ast.Program:
+    """Parse the paper program named ``key`` (``'fig1a'`` ... ``'fig9'``)."""
+    return parse_program(SOURCES[key])
+
+
+def graph(key: str) -> ParallelFlowGraph:
+    """Build the CFG/PFG of the paper program named ``key``."""
+    return build_pfg(program(key))

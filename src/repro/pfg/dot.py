@@ -1,0 +1,47 @@
+"""Graphviz DOT export for Parallel Flow Graphs.
+
+Reproduces the visual conventions of the paper's Figure 4: sequential
+edges solid, parallel edges bold, synchronization edges dashed; fork/join
+nodes drawn as trapezia-ish (here: house/invhouse shapes), entry/exit as
+ovals.
+"""
+
+from __future__ import annotations
+
+from .edges import EdgeKind
+from .graph import ParallelFlowGraph
+from .node import NodeKind
+
+_EDGE_STYLE = {
+    EdgeKind.SEQ: "",
+    EdgeKind.PAR: ' [style=bold, color="#2a6f97"]',
+    EdgeKind.SYNC: ' [style=dashed, color="#c44536", constraint=false]',
+}
+
+_NODE_SHAPE = {
+    NodeKind.ENTRY: "oval",
+    NodeKind.EXIT: "oval",
+    NodeKind.BASIC: "box",
+    NodeKind.FORK: "invhouse",
+    NodeKind.JOIN: "house",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: ParallelFlowGraph, include_stmts: bool = True) -> str:
+    """Render ``graph`` as a Graphviz digraph (returns DOT source)."""
+    lines = [f'digraph "{_escape(graph.program_name)}" {{', "  node [fontname=monospace];"]
+    for node in graph.nodes:
+        if include_stmts:
+            label = _escape(node.describe())
+        else:
+            label = _escape(node.name)
+        shape = _NODE_SHAPE[node.kind]
+        lines.append(f'  n{node.id} [label="{label}", shape={shape}];')
+    for src, dst, kind in graph.edges():
+        lines.append(f"  n{src.id} -> n{dst.id}{_EDGE_STYLE[kind]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

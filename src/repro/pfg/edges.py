@@ -1,0 +1,32 @@
+"""Edge kinds of the Parallel Flow Graph (paper §4).
+
+The PFG has three first-class edge kinds:
+
+* ``SEQ`` — sequential control flow within a thread;
+* ``PAR`` — parallel control flow at fork and join points (fork → first
+  block of each section, last block of each section → join);
+* ``SYNC`` — a synchronization edge from each ``post`` block to every
+  ``wait`` block on the same event.
+
+The paper's *technical edge* between a fork and its matching join (used to
+carry ``ForkKill`` to the join) is not represented as a graph edge — each
+join node stores a direct reference to its fork — so graph traversals see
+only real control/synchronization structure.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EdgeKind(enum.Enum):
+    SEQ = "seq"
+    PAR = "par"
+    SYNC = "sync"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Edge kinds that represent control flow (everything except SYNC).
+CONTROL_KINDS = (EdgeKind.SEQ, EdgeKind.PAR)

@@ -1,0 +1,257 @@
+"""The Parallel Flow Graph container (paper §4).
+
+A directed graph over :class:`~repro.pfg.node.PFGNode` with
+:class:`~repro.pfg.edges.EdgeKind`-tagged edges, plus the bookkeeping the
+data-flow equations need: predecessor families split by edge kind
+(``seq_preds`` / ``par_preds`` / ``sync_preds``), fork↔join matching, event
+post/wait indexes, the definition table, and control-flow traversal orders
+(reverse postorder, back-edge detection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.defs import DefTable
+from ..lang import ast
+from .edges import CONTROL_KINDS, EdgeKind
+from .node import NodeKind, PFGNode
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ParDoInfo:
+    """One ``Parallel Do`` construct: its header/merge blocks and index.
+
+    The body is modelled as a conditionally-executed (the trip count may
+    be zero), *self-concurrent* region between ``header`` and ``merge``:
+    body blocks carry the construct id in ``PFGNode.pardo_ids``, which is
+    what makes :func:`repro.pfg.concurrency.concurrent` treat distinct
+    iterations as parallel.  Copy-in/copy-out means iterations read the
+    header-time copies, so no extra flow edges are needed.
+    """
+
+    construct_id: int
+    index: str
+    header: "PFGNode"
+    merge: "PFGNode"
+
+
+class ParallelFlowGraph:
+    """Mutable PFG; built by :mod:`repro.pfg.builder`, then treated as
+    immutable by the analyses."""
+
+    def __init__(self, program_name: str = "program"):
+        self.program_name = program_name
+        self.nodes: List[PFGNode] = []
+        self.entry: Optional[PFGNode] = None
+        self.exit: Optional[PFGNode] = None
+        self.defs = DefTable()
+        self._succs: Dict[PFGNode, List[Tuple[PFGNode, EdgeKind]]] = {}
+        self._preds: Dict[PFGNode, List[Tuple[PFGNode, EdgeKind]]] = {}
+        self._by_name: Dict[str, PFGNode] = {}
+        #: event name -> nodes that post / wait on it
+        self.posts_of_event: Dict[str, List[PFGNode]] = {}
+        self.waits_of_event: Dict[str, List[PFGNode]] = {}
+        #: construct id -> section names (filled by the builder)
+        self.section_names: Dict[int, Tuple[str, ...]] = {}
+        #: Parallel Do constructs, in document order (filled by the builder)
+        self.pardos: List["ParDoInfo"] = []
+        self._rpo_cache: Optional[List[PFGNode]] = None
+        self._back_edge_cache: Optional[Set[Tuple[PFGNode, PFGNode]]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def new_node(self, kind: NodeKind = NodeKind.BASIC, name: str = "", note: str = "") -> PFGNode:
+        node = PFGNode(id=len(self.nodes), kind=kind, name=name, note=note)
+        self.nodes.append(node)
+        self._succs[node] = []
+        self._preds[node] = []
+        self._invalidate()
+        return node
+
+    def add_edge(self, src: PFGNode, dst: PFGNode, kind: EdgeKind) -> None:
+        """Add an edge, ignoring exact duplicates (same endpoints + kind)."""
+        if (dst, kind) in self._succs[src]:
+            return
+        self._succs[src].append((dst, kind))
+        self._preds[dst].append((src, kind))
+        self._invalidate()
+
+    def register_name(self, node: PFGNode) -> None:
+        """Record ``node.name`` in the name index (builder calls this after
+        names are final); collisions get a ``_2``, ``_3``... suffix."""
+        base = node.name or f"n{node.id}"
+        name = base
+        bump = 1
+        while name in self._by_name:
+            bump += 1
+            name = f"{base}_{bump}"
+        node.name = name
+        self._by_name[name] = node
+
+    def _invalidate(self) -> None:
+        self._rpo_cache = None
+        self._back_edge_cache = None
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def node(self, name: str) -> PFGNode:
+        """Look up a node by its (unique) name; raises ``KeyError``."""
+        return self._by_name[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(n.name for n in self.nodes)
+
+    # -- adjacency --------------------------------------------------------------
+
+    def succs(self, n: PFGNode, kinds: Sequence[EdgeKind] = tuple(EdgeKind)) -> List[PFGNode]:
+        return [m for (m, k) in self._succs[n] if k in kinds]
+
+    def preds(self, n: PFGNode, kinds: Sequence[EdgeKind] = tuple(EdgeKind)) -> List[PFGNode]:
+        return [m for (m, k) in self._preds[n] if k in kinds]
+
+    def out_edges(self, n: PFGNode) -> List[Tuple[PFGNode, EdgeKind]]:
+        return list(self._succs[n])
+
+    def in_edges(self, n: PFGNode) -> List[Tuple[PFGNode, EdgeKind]]:
+        return list(self._preds[n])
+
+    def seq_preds(self, n: PFGNode) -> List[PFGNode]:
+        return self.preds(n, (EdgeKind.SEQ,))
+
+    def par_preds(self, n: PFGNode) -> List[PFGNode]:
+        return self.preds(n, (EdgeKind.PAR,))
+
+    def sync_preds(self, n: PFGNode) -> List[PFGNode]:
+        return self.preds(n, (EdgeKind.SYNC,))
+
+    def control_preds(self, n: PFGNode) -> List[PFGNode]:
+        return self.preds(n, CONTROL_KINDS)
+
+    def control_succs(self, n: PFGNode) -> List[PFGNode]:
+        return self.succs(n, CONTROL_KINDS)
+
+    def all_preds(self, n: PFGNode) -> List[PFGNode]:
+        """All predecessors: sequential, parallel, and synchronization
+        (the paper's ``pred(n)`` in the synchronized equations)."""
+        return self.preds(n)
+
+    def edges(self) -> Iterable[Tuple[PFGNode, PFGNode, EdgeKind]]:
+        for src in self.nodes:
+            for dst, kind in self._succs[src]:
+                yield src, dst, kind
+
+    def edge_count(self, kinds: Sequence[EdgeKind] = tuple(EdgeKind)) -> int:
+        return sum(1 for *_ignored, k in self.edges() if k in kinds)
+
+    # -- node families ------------------------------------------------------------
+
+    @property
+    def forks(self) -> List[PFGNode]:
+        return [n for n in self.nodes if n.kind is NodeKind.FORK]
+
+    @property
+    def joins(self) -> List[PFGNode]:
+        return [n for n in self.nodes if n.kind is NodeKind.JOIN]
+
+    @property
+    def waits(self) -> List[PFGNode]:
+        return [n for n in self.nodes if n.is_wait]
+
+    @property
+    def posts(self) -> List[PFGNode]:
+        return [n for n in self.nodes if n.is_post]
+
+    # -- traversal ----------------------------------------------------------------
+
+    def _dfs(self) -> Tuple[List[PFGNode], Set[Tuple[PFGNode, PFGNode]]]:
+        """Iterative DFS over control edges from entry.
+
+        Returns (postorder, back_edges).  An edge ``u -> v`` is a back edge
+        iff ``v`` is on the current DFS stack when the edge is examined —
+        for the reducible graphs the builder produces these are exactly the
+        loop-latch edges.
+        """
+        assert self.entry is not None, "graph has no entry node"
+        postorder: List[PFGNode] = []
+        back: Set[Tuple[PFGNode, PFGNode]] = set()
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[PFGNode, int] = {n: 0 for n in self.nodes}
+        stack: List[Tuple[PFGNode, int]] = [(self.entry, 0)]
+        color[self.entry] = GREY
+        while stack:
+            node, i = stack.pop()
+            succs = self.control_succs(node)
+            if i < len(succs):
+                stack.append((node, i + 1))
+                nxt = succs[i]
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, 0))
+                elif color[nxt] == GREY:
+                    back.add((node, nxt))
+            else:
+                color[node] = BLACK
+                postorder.append(node)
+        return postorder, back
+
+    def reverse_postorder(self) -> List[PFGNode]:
+        """Control-flow reverse postorder from the entry (unreachable nodes
+        appended last, in id order)."""
+        if self._rpo_cache is None:
+            postorder, back = self._dfs()
+            rpo = list(reversed(postorder))
+            seen = set(rpo)
+            rpo.extend(n for n in self.nodes if n not in seen)
+            self._rpo_cache = rpo
+            self._back_edge_cache = back
+        return list(self._rpo_cache)
+
+    def back_edges(self) -> Set[Tuple[PFGNode, PFGNode]]:
+        """Control back edges (loop latches) found by DFS from entry."""
+        if self._back_edge_cache is None:
+            self.reverse_postorder()
+        assert self._back_edge_cache is not None
+        return set(self._back_edge_cache)
+
+    def forward_control_preds(self, n: PFGNode) -> List[PFGNode]:
+        """Control predecessors of ``n`` excluding back edges — the edge
+        relation over which Preserved sets are computed (single
+        construct-instance semantics, DESIGN.md §2)."""
+        back = self.back_edges()
+        return [p for p in self.control_preds(n) if (p, n) not in back]
+
+    def document_order(self) -> List[PFGNode]:
+        """Nodes in creation (program) order — the order the paper's tables
+        list, and the default solver sweep order."""
+        return list(self.nodes)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def finalize_defs(self) -> None:
+        """(Re)build the definition table from node statements.  Called by
+        the builder once node names are final."""
+        self.defs = DefTable()
+        for node in self.nodes:
+            node.defs = []
+            for stmt in node.stmts:
+                if isinstance(stmt, ast.Assign):
+                    node.defs.append(self.defs.add(stmt.target, node.name, stmt))
+
+    def describe(self) -> str:
+        """Multi-line structural dump (tests and debugging)."""
+        lines = [f"PFG {self.program_name}: {len(self.nodes)} nodes"]
+        for n in self.nodes:
+            lines.append("  " + n.describe())
+            for dst, kind in self._succs[n]:
+                lines.append(f"    -[{kind}]-> {dst.name}")
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Parallel-construct regions: fork/join pairs and section membership.
+
+Every ``Parallel Sections`` construct gets a dense ``construct_id``; every
+node records the path of ``(construct_id, section_index)`` pairs it sits
+inside (outermost first).  This module derives the region view used by
+may-happen-in-parallel queries, ``ParallelKill`` computation, and
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .graph import ParallelFlowGraph
+from .node import PFGNode
+
+
+@dataclass
+class ParallelConstruct:
+    """One fork/join pair and the nodes of each of its sections."""
+
+    construct_id: int
+    fork: PFGNode
+    join: PFGNode
+    section_names: Tuple[str, ...]
+    #: section index -> nodes belonging to that section (directly or in
+    #: nested constructs), in document order.
+    section_nodes: Dict[int, List[PFGNode]] = field(default_factory=dict)
+
+    @property
+    def n_sections(self) -> int:
+        return len(self.section_names)
+
+    def section_of(self, node: PFGNode) -> Optional[int]:
+        """Which of this construct's sections contains ``node`` (None if
+        the node is outside the construct, including the fork/join)."""
+        for cid, section in node.section_path:
+            if cid == self.construct_id:
+                return section
+        return None
+
+
+@dataclass
+class RegionInfo:
+    """All parallel constructs of a graph, indexed by id."""
+
+    constructs: Dict[int, ParallelConstruct]
+
+    def __iter__(self):
+        return iter(self.constructs.values())
+
+    def __len__(self) -> int:
+        return len(self.constructs)
+
+    def __getitem__(self, construct_id: int) -> ParallelConstruct:
+        return self.constructs[construct_id]
+
+    def enclosing(self, node: PFGNode) -> Tuple[ParallelConstruct, ...]:
+        """Constructs containing ``node``, outermost first."""
+        return tuple(self.constructs[cid] for cid, _section in node.section_path)
+
+    def innermost(self, node: PFGNode) -> Optional[ParallelConstruct]:
+        if not node.section_path:
+            return None
+        return self.constructs[node.section_path[-1][0]]
+
+
+def compute_regions(graph: ParallelFlowGraph, section_names: Optional[Dict[int, Tuple[str, ...]]] = None) -> RegionInfo:
+    """Build :class:`RegionInfo` from fork/join links and section paths.
+
+    ``section_names`` optionally maps construct id to section names; when
+    absent, sections are named ``"S0"``, ``"S1"``, ...
+    """
+    if section_names is None and graph.section_names:
+        section_names = graph.section_names
+    constructs: Dict[int, ParallelConstruct] = {}
+    for fork in graph.forks:
+        assert fork.join is not None, f"fork {fork.name} has no matching join"
+        assert fork.construct_id is not None
+        cid = fork.construct_id
+        n_sections = (
+            len(section_names[cid])
+            if section_names and cid in section_names
+            else _count_sections(graph, cid)
+        )
+        names = (
+            section_names[cid]
+            if section_names and cid in section_names
+            else tuple(f"S{i}" for i in range(n_sections))
+        )
+        constructs[cid] = ParallelConstruct(
+            construct_id=cid, fork=fork, join=fork.join, section_names=names
+        )
+    for node in graph.nodes:
+        for cid, section in node.section_path:
+            if cid in constructs:
+                constructs[cid].section_nodes.setdefault(section, []).append(node)
+    # Ensure empty sections still appear in the mapping.
+    for construct in constructs.values():
+        for i in range(construct.n_sections):
+            construct.section_nodes.setdefault(i, [])
+    return RegionInfo(constructs=constructs)
+
+
+def _count_sections(graph: ParallelFlowGraph, construct_id: int) -> int:
+    best = -1
+    for node in graph.nodes:
+        for cid, section in node.section_path:
+            if cid == construct_id:
+                best = max(best, section)
+    return best + 1

@@ -1,0 +1,104 @@
+"""Structural validation of a Parallel Flow Graph.
+
+``validate_pfg`` checks the invariants every analysis in this package
+relies on; it raises :class:`PFGInvariantError` with all violations listed.
+Run it in tests and after hand-built graphs (``repro.paper.programs``
+builds figure-exact graphs through the normal builder, but users may
+construct graphs directly).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .edges import EdgeKind
+from .graph import ParallelFlowGraph
+from .node import NodeKind
+
+
+class PFGInvariantError(AssertionError):
+    """One or more PFG structural invariants are violated."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = violations
+        super().__init__("PFG invariants violated:\n  " + "\n  ".join(violations))
+
+
+def validate_pfg(graph: ParallelFlowGraph) -> None:
+    """Check all structural invariants; raise :class:`PFGInvariantError`
+    listing every violation found."""
+    bad: List[str] = []
+
+    if graph.entry is None:
+        bad.append("graph has no entry node")
+    elif graph.entry.kind is not NodeKind.ENTRY:
+        bad.append("entry node is not of kind ENTRY")
+    if graph.exit is None:
+        bad.append("graph has no exit node")
+
+    names = [n.name for n in graph.nodes]
+    if len(set(names)) != len(names):
+        dupes = sorted({x for x in names if names.count(x) > 1})
+        bad.append(f"duplicate node names: {dupes}")
+
+    for node in graph.nodes:
+        # Extended-basic-block shape.
+        if node.post_event is not None and node.cond is not None:
+            bad.append(f"{node.name}: has both a post and a branch at block end")
+        if node.kind is NodeKind.FORK:
+            if node.stmts or node.post_event or node.cond or node.wait_event:
+                bad.append(f"{node.name}: fork node carries statements")
+            if node.join is None:
+                bad.append(f"{node.name}: fork without matching join")
+            elif node.join.fork is not node:
+                bad.append(f"{node.name}: fork/join links inconsistent")
+            if node.construct_id is None:
+                bad.append(f"{node.name}: fork without construct id")
+        if node.kind is NodeKind.JOIN:
+            if node.fork is None:
+                bad.append(f"{node.name}: join without matching fork")
+            par_in = graph.par_preds(node)
+            if not par_in:
+                bad.append(f"{node.name}: join with no parallel predecessors")
+        # Edge-kind placement.
+        for dst, kind in graph.out_edges(node):
+            if kind is EdgeKind.PAR and not (node.kind is NodeKind.FORK or dst.kind is NodeKind.JOIN):
+                bad.append(f"{node.name} -> {dst.name}: PAR edge not at a fork or into a join")
+            if kind is EdgeKind.SYNC:
+                if node.post_event is None:
+                    bad.append(f"{node.name} -> {dst.name}: SYNC edge from a non-post block")
+                if dst.wait_event is None:
+                    bad.append(f"{node.name} -> {dst.name}: SYNC edge into a non-wait block")
+                elif node.post_event is not None and node.post_event != dst.wait_event:
+                    bad.append(f"{node.name} -> {dst.name}: SYNC edge across different events")
+        if node.kind is NodeKind.FORK:
+            par_out = graph.succs(node, (EdgeKind.PAR,))
+            if not par_out:
+                bad.append(f"{node.name}: fork with no parallel successors")
+        if node.kind is NodeKind.EXIT and graph.control_succs(node):
+            bad.append(f"{node.name}: exit node has successors")
+
+    # Every node (except entry) is reachable over control edges.
+    if graph.entry is not None:
+        reachable = set()
+        stack = [graph.entry]
+        while stack:
+            cur = stack.pop()
+            if cur in reachable:
+                continue
+            reachable.add(cur)
+            stack.extend(graph.control_succs(cur))
+        for node in graph.nodes:
+            if node not in reachable:
+                bad.append(f"{node.name}: unreachable from entry over control edges")
+
+    # Definition table is consistent with node contents.
+    for node in graph.nodes:
+        for d in node.defs:
+            if d.site != node.name:
+                bad.append(f"definition {d} recorded in block {node.name}")
+    if sum(len(n.defs) for n in graph.nodes) != len(graph.defs):
+        bad.append("definition table size disagrees with per-node definitions")
+
+    if bad:
+        raise PFGInvariantError(bad)

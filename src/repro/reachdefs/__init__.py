@@ -1,0 +1,32 @@
+"""Reaching definitions for explicitly parallel programs — the paper's
+three equation systems plus the Preserved-set approximation."""
+
+from .genkill import DefSet, GenKillInfo, compute_genkill, sequential_kill
+from .parallel import ParallelRDSystem, solve_parallel
+from .preserved import (
+    PreservedResult,
+    compute_preserved,
+    empty_preserved,
+    resolve_preserved,
+)
+from .result import ReachingDefsResult
+from .sequential import SequentialRDSystem, solve_sequential
+from .synch import SynchRDSystem, solve_synch
+
+__all__ = [
+    "DefSet",
+    "GenKillInfo",
+    "compute_genkill",
+    "sequential_kill",
+    "ParallelRDSystem",
+    "solve_parallel",
+    "PreservedResult",
+    "compute_preserved",
+    "empty_preserved",
+    "resolve_preserved",
+    "ReachingDefsResult",
+    "SequentialRDSystem",
+    "solve_sequential",
+    "SynchRDSystem",
+    "solve_synch",
+]

@@ -1,0 +1,30 @@
+"""Synthetic workloads: seeded random programs and named benchmark families."""
+
+from .generator import GeneratorConfig, generate_program
+from .workloads import (
+    WORKLOADS,
+    chain,
+    diamond_chain,
+    fig3_repeated,
+    loop_nest,
+    nested_parallel,
+    pardo_grid,
+    random_mix,
+    sync_pipeline,
+    wide_parallel,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_program",
+    "WORKLOADS",
+    "chain",
+    "diamond_chain",
+    "fig3_repeated",
+    "loop_nest",
+    "nested_parallel",
+    "pardo_grid",
+    "random_mix",
+    "sync_pipeline",
+    "wide_parallel",
+]

@@ -1,0 +1,222 @@
+"""Seeded structured-random program generator.
+
+Produces arbitrary well-formed mini-PCF programs for property tests and
+benchmarks.  Two guarantees matter for the dynamic soundness oracle:
+
+* **synchronization correctness** — every generated ``wait(e)`` has at
+  least one post of ``e`` that is guaranteed to execute (unconditional in
+  a sibling section, or posted on *both* arms of a conditional, the
+  paper's Figure 3 pattern), and ``clear(e)`` precedes the construct so
+  loops cannot leak a stale posting into the next iteration;
+* **termination** — no ``while`` loops (trip counts of ``loop`` are
+  scheduler-bounded), so every schedule terminates.
+
+Determinism: the same ``(seed, config)`` always yields a structurally
+identical program (property-tested), so benchmark workloads are stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..lang import ast
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for :func:`generate_program`.
+
+    ``target_stmts`` is approximate — construct overhead means the actual
+    statement count can exceed it slightly.
+    """
+
+    target_stmts: int = 20
+    n_vars: int = 4
+    max_depth: int = 3
+    p_if: float = 0.15
+    p_loop: float = 0.10
+    p_parallel: float = 0.20
+    p_pardo: float = 0.08
+    """Probability of a ``parallel do`` construct (read-only index, no
+    sync inside — its body races are the point, not deadlocks)."""
+    max_sections: int = 3
+    with_sync: bool = True
+    p_sync: float = 0.5
+    """Probability a parallel construct gets a post/wait pair."""
+    p_conditional_post: float = 0.3
+    """Probability a sync pair uses the both-branches conditional-post
+    pattern instead of an unconditional post."""
+    with_free_vars: bool = True
+    """Allow branch conditions on never-assigned variables (nondeterministic
+    inputs, like the paper's ``condition``)."""
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.rng = random.Random(seed)
+        self.config = config
+        self.vars = [f"v{i}" for i in range(max(1, config.n_vars))]
+        self.free_vars = ["c0", "c1"] if config.with_free_vars else []
+        self.events: List[str] = []
+        self.budget = max(1, config.target_stmts)
+        self._pardo_count = 0
+        self._pardo_depth = 0
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, depth: int = 0) -> ast.Expr:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.35:
+            return ast.IntLit(self.rng.randint(0, 9))
+        if roll < 0.7:
+            return ast.Var(self.rng.choice(self.vars))
+        op = self.rng.choice(("+", "-", "*", "+", "-"))
+        return ast.BinOp(op, self.expr(depth + 1), self.expr(depth + 1))
+
+    def condition(self) -> ast.Expr:
+        if self.free_vars and self.rng.random() < 0.5:
+            return ast.BinOp("<", ast.Var(self.rng.choice(self.free_vars)), ast.IntLit(1))
+        return ast.BinOp(
+            self.rng.choice(("<", "<=", "==", "/=")),
+            ast.Var(self.rng.choice(self.vars)),
+            ast.IntLit(self.rng.randint(0, 5)),
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self) -> ast.Assign:
+        self.budget -= 1
+        return ast.Assign(target=self.rng.choice(self.vars), expr=self.expr())
+
+    def block(self, depth: int, min_stmts: int = 1) -> List[ast.Stmt]:
+        n = self.rng.randint(min_stmts, max(min_stmts, 3))
+        out: List[ast.Stmt] = []
+        for _ in range(n):
+            if self.budget <= 0:
+                break
+            out.append(self.stmt(depth))
+        if not out:
+            out.append(self.assign())
+        return out
+
+    def stmt(self, depth: int) -> ast.Stmt:
+        roll = self.rng.random()
+        cfg = self.config
+        if depth < cfg.max_depth and self.budget > 3:
+            if roll < cfg.p_parallel:
+                return self.parallel(depth)
+            roll -= cfg.p_parallel
+            if roll < cfg.p_pardo:
+                return self.parallel_do(depth)
+            roll -= cfg.p_pardo
+            if roll < cfg.p_if:
+                self.budget -= 1
+                return ast.If(
+                    cond=self.condition(),
+                    then_body=self.block(depth + 1),
+                    else_body=self.block(depth + 1) if self.rng.random() < 0.5 else [],
+                )
+            roll -= cfg.p_if
+            if roll < cfg.p_loop:
+                self.budget -= 1
+                return ast.Loop(body=self.block(depth + 1))
+        return self.assign()
+
+    def parallel_do(self, depth: int) -> ast.Stmt:
+        self.budget -= 2
+        index = f"idx{self._pardo_count}"
+        self._pardo_count += 1
+        self._pardo_depth += 1
+        try:
+            body = self.block(depth + 1)
+        finally:
+            self._pardo_depth -= 1
+        # the index flavours some right-hand side so iterations differ
+        if body and isinstance(body[0], ast.Assign):
+            body[0] = ast.Assign(
+                target=body[0].target, expr=ast.BinOp("+", body[0].expr, ast.Var(index))
+            )
+        return ast.ParallelDo(index=index, body=body)
+
+    def parallel(self, depth: int) -> ast.Stmt:
+        cfg = self.config
+        self.budget -= 2
+        n_sections = self.rng.randint(2, max(2, cfg.max_sections))
+        sections = [
+            ast.Section(name=f"S{len(self.events)}_{i}", body=self.block(depth + 1))
+            for i in range(n_sections)
+        ]
+        construct = ast.ParallelSections(sections=sections)
+        # No events inside a parallel do: iterations share the event, so a
+        # post in one iteration could release a wait in another — exactly
+        # the staleness class the §6 assumption excludes.
+        if self._pardo_depth > 0:
+            return construct
+        if not (cfg.with_sync and self.rng.random() < cfg.p_sync and n_sections >= 2):
+            return construct
+        # Wire one post/wait pair between two distinct sections, correctly.
+        event = f"e{len(self.events)}"
+        self.events.append(event)
+        poster, waiter = self.rng.sample(range(n_sections), 2)
+        self._insert_post(sections[poster], event)
+        wait_at = self.rng.randint(0, len(sections[waiter].body))
+        sections[waiter].body.insert(wait_at, ast.Wait(event=event))
+        # A stale posting from a previous loop iteration would break the
+        # §6 correctness assumption: clear first (see paper's Figure 3 bug).
+        return _Seq([ast.Clear(event=event), construct])
+
+    def _insert_post(self, section: ast.Section, event: str) -> None:
+        if self.rng.random() < self.config.p_conditional_post:
+            # Figure 3 pattern: post on both arms of a conditional.
+            self.budget -= 2
+            branch = ast.If(
+                cond=self.condition(),
+                then_body=[self.assign(), ast.Post(event=event)],
+                else_body=[self.assign(), ast.Post(event=event)],
+            )
+            at = self.rng.randint(0, len(section.body))
+            section.body.insert(at, branch)
+        else:
+            at = self.rng.randint(0, len(section.body))
+            section.body.insert(at, ast.Post(event=event))
+
+    def program(self, name: str) -> ast.Program:
+        body: List[ast.Stmt] = [
+            ast.Assign(target=v, expr=ast.IntLit(self.rng.randint(0, 9))) for v in self.vars
+        ]
+        body.extend(_flatten(self.block(0, min_stmts=2)))
+        return ast.Program(name=name, events=list(self.events), body=_flatten(body))
+
+
+class _Seq(ast.Stmt):
+    """Internal splice marker: a statement standing for a sequence."""
+
+    def __init__(self, stmts: List[ast.Stmt]):
+        super().__init__()
+        self.stmts = stmts
+
+
+def _flatten(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+    out: List[ast.Stmt] = []
+    for s in stmts:
+        if isinstance(s, _Seq):
+            out.extend(_flatten(s.stmts))
+        else:
+            for attr in ("then_body", "else_body", "body"):
+                if hasattr(s, attr):
+                    setattr(s, attr, _flatten(getattr(s, attr)))
+            if isinstance(s, ast.ParallelSections):
+                for section in s.sections:
+                    section.body = _flatten(section.body)
+            out.append(s)
+    return out
+
+
+def generate_program(
+    seed: int, config: Optional[GeneratorConfig] = None, name: Optional[str] = None
+) -> ast.Program:
+    """Generate a deterministic random program for ``seed``/``config``."""
+    cfg = config if config is not None else GeneratorConfig()
+    return _Generator(seed, cfg).program(name or f"gen{seed}")

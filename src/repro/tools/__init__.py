@@ -1,0 +1,5 @@
+"""Reporting and command-line tooling."""
+
+from .format import format_set, render_kv, render_table
+
+__all__ = ["format_set", "render_kv", "render_table"]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``parse FILE``       — parse and pretty-print a program (syntax check).
+``graph FILE``       — build the PFG and print its structure (or DOT).
+``analyze FILE``     — run the appropriate equation system; print the
+                       per-block set table, anomalies, and statistics.
+``tables [NAME]``    — regenerate the paper's tables/figures
+                       (table1, fig2, fig4, fig8, fig11_12; default all).
+``run FILE``         — interpret the program once (seeded scheduler) and
+                       print the final variable values.
+``cssa FILE``        — print the Concurrent SSA form (φ/ψ/π merges).
+``report FILE``      — full optimization report: safety (anomalies,
+                       synchronization lint) and opportunities (constants,
+                       induction variables, dead code, copies, CSE).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .. import analyze as _analyze
+from ..analysis import find_anomalies, lint_synchronization
+from ..interp import RandomScheduler, run_program
+from ..lang import parse_program, pretty
+from ..lang.errors import LangError
+from ..paper import tables as paper_tables
+from ..pfg import build_pfg, to_dot
+from ..tools.format import render_kv, render_table
+
+
+def _load(path: str):
+    return parse_program(Path(path).read_text())
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    prog = _load(args.file)
+    sys.stdout.write(pretty(prog))
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    graph = build_pfg(_load(args.file))
+    sys.stdout.write(to_dot(graph) if args.dot else graph.describe() + "\n")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    result = _analyze(
+        _load(args.file), backend=args.backend, order=args.order, preserved=args.preserved
+    )
+    order = [n.name for n in result.graph.document_order()]
+    cols = ["Gen", "Kill", "In", "Out"]
+    if result.acc_killin is not None:
+        cols = ["Gen", "Kill", "ParallelKill", "In", "Out", "ACCKillin", "ACCKillout", "ForkKill"]
+    if result.synch_pass is not None:
+        cols.append("SynchPass")
+    rows = {name: {c: result.set_names(c, name) for c in cols} for name in order}
+    sys.stdout.write(render_table(rows, cols, order, title=f"{result.system} reaching definitions"))
+    anomalies = find_anomalies(result)
+    if anomalies:
+        sys.stdout.write("\npotential anomalies:\n")
+        for a in anomalies:
+            sys.stdout.write(f"  {a.format()}\n")
+    issues = lint_synchronization(result.graph)
+    if issues:
+        sys.stdout.write("\nsynchronization lint:\n")
+        for issue in issues:
+            sys.stdout.write(f"  {issue.format()}\n")
+    sys.stdout.write("\n")
+    sys.stdout.write(render_kv({k: str(v) for k, v in result.stats.as_dict().items()}, "solver"))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    artifacts = paper_tables.regenerate_all()
+    names = [args.name] if args.name else list(artifacts)
+    for name in names:
+        if name not in artifacts:
+            sys.stderr.write(f"unknown artifact {name!r}; choose from {', '.join(artifacts)}\n")
+            return 2
+        sys.stdout.write(artifacts[name])
+        sys.stdout.write("\n")
+    return 0
+
+
+def cmd_cssa(args: argparse.Namespace) -> int:
+    from ..cssa import build_cssa, render_cssa
+
+    graph = build_pfg(_load(args.file))
+    form = build_cssa(graph)
+    sys.stdout.write(render_cssa(graph, form))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from ..driver import optimize
+
+    report = optimize(_load(args.file), preserved=args.preserved)
+    sys.stdout.write(report.render())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    prog = _load(args.file)
+    result = run_program(prog, RandomScheduler(seed=args.seed, max_loop_iters=args.max_loop_iters))
+    if result.deadlocked:
+        sys.stdout.write("DEADLOCK\n")
+    values = {var: str(cell.value) for var, cell in sorted(result.final_env.items())}
+    sys.stdout.write(render_kv(values, f"final values (seed {args.seed}, {result.steps} steps)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reaching definitions for explicitly parallel programs "
+        "(Grunwald & Srinivasan, PPoPP 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("parse", help="parse and pretty-print a program")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_parse)
+
+    p = sub.add_parser("graph", help="print the Parallel Flow Graph")
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("analyze", help="run reaching-definitions analysis")
+    p.add_argument("file")
+    p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
+    p.add_argument("--order", default="document")
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
+    p.add_argument("name", nargs="?", help="table1 | fig2 | fig4 | fig8 | fig11_12")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("cssa", help="print the Concurrent SSA form")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_cssa)
+
+    p = sub.add_parser("report", help="full optimization report")
+    p.add_argument("file")
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("run", help="interpret a program once")
+    p.add_argument("file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-loop-iters", type=int, default=3)
+    p.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except LangError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+    except FileNotFoundError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

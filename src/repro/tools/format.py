@@ -1,0 +1,54 @@
+"""ASCII table rendering in the paper's style.
+
+The paper presents its results as tables of per-block sets (Table 1,
+Figure 8, Figures 11/12).  ``render_table`` produces the same shape:
+one row per block, one column per set, elements sorted and brace-wrapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_set(values: Iterable[str]) -> str:
+    inner = ", ".join(sorted(values))
+    return "{" + inner + "}"
+
+
+def render_table(
+    rows: Mapping[str, Mapping[str, Iterable[str]]],
+    columns: Sequence[str],
+    row_order: Sequence[str],
+    title: str = "",
+    node_header: str = "Node",
+) -> str:
+    """Render ``rows[node][column] -> set of names`` as an aligned table."""
+    header = [node_header, *columns]
+    body: List[List[str]] = []
+    for name in row_order:
+        row = rows[name]
+        body.append([name] + [format_set(row.get(col, ())) for col in columns])
+    widths = [len(h) for h in header]
+    for r in body:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(header))
+    out.append(sep)
+    out.extend(line(r) for r in body)
+    return "\n".join(out) + "\n"
+
+
+def render_kv(pairs: Dict[str, str], title: str = "") -> str:
+    """Simple aligned key/value block (for stats summaries)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines) + "\n"

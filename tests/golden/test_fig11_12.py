@@ -1,0 +1,88 @@
+"""Golden test — Figures 11/12: the synchronized system on the Figure 3
+program, iteration by iteration, plus every §6 prose claim."""
+
+from repro.paper.golden import (
+    EXPECTED_PASSES,
+    FIG3_LOCAL,
+    FIG3_PRESERVED_8,
+    FIG11_ITER1,
+    FIG12_ITER2,
+)
+
+
+def test_local_sets(fig3_result):
+    for node, row in FIG3_LOCAL.items():
+        for col, expected in row.items():
+            got = fig3_result.set_names(col, node)
+            assert got == expected, f"{col}({node})"
+
+
+def test_preserved_8_paper_verbatim(fig3_result):
+    # §6: "The Preserved set of node (8) (the wait node) is the set
+    # {Entry, 1, 2, 3, 4, 5, 7}".
+    assert fig3_result.preserved.names(fig3_result.graph.node("8")) == FIG3_PRESERVED_8
+
+
+def _check_snapshot(snap, table):
+    for node, row in table.items():
+        for col, expected in row.items():
+            got = frozenset(str(d) for d in snap[col][node])
+            assert got == expected, f"{col}({node}): {sorted(got)} != {sorted(expected)}"
+
+
+def test_iteration1_matches_figure11(fig3_result):
+    _check_snapshot(fig3_result.stats.snapshots[0], FIG11_ITER1)
+
+
+def test_iteration2_matches_figure12(fig3_result):
+    _check_snapshot(fig3_result.stats.snapshots[1], FIG12_ITER2)
+
+
+def test_convergence_claim(fig3_result):
+    # "the fix point is reached in the third iteration."
+    changing, total = EXPECTED_PASSES["fig11_12"]
+    assert fig3_result.stats.changing_passes == changing
+    assert fig3_result.stats.passes == total
+
+
+def test_iteration2_is_fixpoint(fig3_result):
+    snap2 = fig3_result.stats.snapshots[1]
+    for node in fig3_result.graph.nodes:
+        assert frozenset(d.name for d in snap2["In"][node.name]) == fig3_result.in_names(node)
+
+
+def test_prose_x4_x5_do_not_reach_join11(fig3_result):
+    # "The definitions x4 and x5 will not reach the join node (11),
+    # because the definition x8 always executes after x4 and x5."
+    x_defs = {d.name for d in fig3_result.reaching("11", "x")}
+    assert x_defs == {"x8"}
+
+
+def test_prose_acckillout11_includes_x4_x5(fig3_result):
+    # "the ACCKillout set of (11) includes x4 and x5."
+    assert {"x4", "x5"} <= fig3_result.set_names("ACCKillout", "11")
+
+
+def test_prose_z6_z9_reach_merge11(fig3_result):
+    # "The definitions z6 and z9 reach the merge node (11); this is an
+    # indication of a potential anomaly."
+    assert {d.name for d in fig3_result.reaching("11", "z")} == {"z6", "z9"}
+
+
+def test_prose_parallelkill_at_6_and_9(fig3_result):
+    # "the Out set of (6) does not contain z9 since this definition is in
+    # its ParallelKill set" (and symmetrically for node 9).
+    assert "z9" not in fig3_result.out_names("6")
+    assert "z6" in fig3_result.out_names("6")
+    assert "z6" not in fig3_result.out_names("9")
+    # "The reason the In set of (6) and (9) both have z6 and z9 is because
+    # of the loop around the parallel block."
+    assert {"z6", "z9"} <= fig3_result.in_names("6")
+    assert {"z6", "z9"} <= fig3_result.in_names("9")
+
+
+def test_prose_synchpass_carries_posted_defs(fig3_result):
+    # "This information was propagated to node (8) by the synchronization
+    # edges since (4) and (5) were in the Preserved set of (8)."
+    assert {"x4", "x5"} <= fig3_result.set_names("SynchPass", "8")
+    assert {"x4", "x5"} <= fig3_result.set_names("ACCKillin", "8")

@@ -1,0 +1,52 @@
+"""Golden tests — Figure 2 (CFG of Fig 1(a)) and Figure 4 (PFG of Fig 3)."""
+
+from repro.paper.golden import FIG2_CFG_EDGES, FIG4_PFG_EDGES
+from repro.pfg import EdgeKind, NodeKind
+
+
+def test_fig2_cfg_structure(fig1a_graph):
+    got = {(s.name, d.name) for s, d, _k in fig1a_graph.edges()}
+    assert got == set(FIG2_CFG_EDGES)
+
+
+def test_fig2_all_edges_sequential(fig1a_graph):
+    assert all(k is EdgeKind.SEQ for *_x, k in fig1a_graph.edges())
+
+
+def test_fig2_node_names(fig1a_graph):
+    assert set(fig1a_graph.names()) == {"Entry", "1", "2", "3", "4", "5", "6", "7", "Exit"}
+
+
+def test_fig4_pfg_structure(fig3_graph):
+    got = {(s.name, d.name, str(k)) for s, d, k in fig3_graph.edges()}
+    assert got == set(FIG4_PFG_EDGES)
+
+
+def test_fig4_fork_join_matching(fig3_graph):
+    assert fig3_graph.node("2").kind is NodeKind.FORK
+    assert fig3_graph.node("7").kind is NodeKind.FORK
+    assert fig3_graph.node("2").join is fig3_graph.node("11")
+    assert fig3_graph.node("7").join is fig3_graph.node("10")
+    assert fig3_graph.node("11").fork is fig3_graph.node("2")
+    assert fig3_graph.node("10").fork is fig3_graph.node("7")
+
+
+def test_fig4_extended_basic_blocks(fig3_graph):
+    # (8) is the paper's canonical extended basic block: wait at start,
+    # one statement after.
+    node8 = fig3_graph.node("8")
+    assert node8.wait_event == "ev"
+    assert len(node8.stmts) == 1
+    # (4)/(5): statement then post at block end.
+    assert fig3_graph.node("4").post_event == "ev"
+    assert fig3_graph.node("5").post_event == "ev"
+
+
+def test_fig4_entry_holds_initializers(fig3_graph):
+    assert [str(s) for s in fig3_graph.entry.stmts] == ["x = 2", "y = 5"]
+
+
+def test_fig3_definition_names(fig3_graph):
+    assert set(fig3_graph.defs.names()) == {
+        "xEntry", "yEntry", "x4", "x5", "z6", "x8", "z9", "y11",
+    }

@@ -1,0 +1,33 @@
+"""Golden test — Table 1: sequential reaching definitions for Figure 1(a)."""
+
+from repro.paper.golden import EXPECTED_PASSES, TABLE1_FIXPOINT, TABLE1_ITER1_IN
+
+
+def test_fixpoint_matches_table1(table1_result):
+    for node, row in TABLE1_FIXPOINT.items():
+        for col, expected in row.items():
+            got = table1_result.set_names(col, node)
+            assert got == expected, f"{col}({node}): {sorted(got)} != {sorted(expected)}"
+
+
+def test_convergence_claim(table1_result):
+    changing, total = EXPECTED_PASSES["table1"]
+    assert table1_result.stats.changing_passes == changing
+    assert table1_result.stats.passes == total
+
+
+def test_first_iteration_in_sets(table1_result):
+    snap = table1_result.stats.snapshots[0]
+    for node, expected in TABLE1_ITER1_IN.items():
+        got = frozenset(d.name for d in snap["In"][node])
+        assert got == expected, f"iter1 In({node})"
+
+
+def test_paper_prose_j_reaching_node6(table1_result):
+    # §2.1: "The reaching definitions for the use of 'j' at node (6) are
+    # j1 and j4."
+    assert {d.name for d in table1_result.reaching("6", "j")} == {"j1", "j4"}
+
+
+def test_definitions_named_after_blocks(fig1a_graph):
+    assert set(fig1a_graph.defs.names()) == {"j1", "k1", "j4", "k5", "l6"}

@@ -1,0 +1,37 @@
+"""Hypothesis strategies shared by the property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.synthetic import GeneratorConfig, generate_program
+
+#: Strategy: a structured-random program via the seeded generator (the
+#: generator is itself property-tested for determinism, so a seed is a
+#: faithful, shrinkable proxy for a program).
+program_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def generated_programs(draw, max_stmts: int = 30, with_sync: bool = True):
+    seed = draw(program_seeds)
+    size = draw(st.integers(min_value=5, max_value=max_stmts))
+    n_vars = draw(st.integers(min_value=2, max_value=6))
+    cfg = GeneratorConfig(
+        target_stmts=size,
+        n_vars=n_vars,
+        with_sync=with_sync,
+        p_parallel=draw(st.sampled_from([0.1, 0.25, 0.4])),
+        p_loop=draw(st.sampled_from([0.0, 0.1, 0.2])),
+    )
+    return generate_program(seed, cfg)
+
+
+@st.composite
+def sequential_programs(draw, max_stmts: int = 30):
+    seed = draw(program_seeds)
+    size = draw(st.integers(min_value=5, max_value=max_stmts))
+    cfg = GeneratorConfig(
+        target_stmts=size, with_sync=False, p_parallel=0.0, p_loop=0.15
+    )
+    return generate_program(seed, cfg)

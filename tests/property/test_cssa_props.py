@@ -1,0 +1,82 @@
+"""Property tests for the CSSA construction."""
+
+from hypothesis import given, settings
+
+from repro import build_pfg
+from repro.cssa import build_cssa, render_cssa
+from repro.ir.defs import Use
+from repro.reachdefs import solve_synch
+
+from .conftest import generated_programs, sequential_programs
+
+
+@settings(max_examples=30, deadline=None)
+@given(prog=generated_programs())
+def test_single_assignment_property(prog):
+    """Every SSA version has exactly one defining occurrence (an original
+    assignment or one merge function)."""
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    definers = list(form.def_versions.values()) + [m.target for m in form.merges.values()]
+    assert len(definers) == len(set(definers))
+
+
+@settings(max_examples=30, deadline=None)
+@given(prog=generated_programs())
+def test_every_use_resolves(prog):
+    """Each use maps to exactly one version of its own variable, or None
+    (undefined/input) — never to several."""
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    for node in graph.nodes:
+        for use in node.uses():
+            version = form.use_versions[use]
+            assert version is None or version.var == use.var
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs())
+def test_expansion_covers_ud_chains(prog):
+    """A use's version, expanded through merges, contains every definition
+    the (synchronized) reaching-definitions analysis says may reach it."""
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    result = solve_synch(graph)
+    for use, version in form.use_versions.items():
+        static = result.reaching_use(use)
+        if version is None:
+            assert not static, use
+            continue
+        assert static <= form.expand(version), use
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=sequential_programs())
+def test_expansion_exact_on_sequential(prog):
+    """On sequential programs (no ACCKill effects) the expansion equals
+    the ud-chain exactly."""
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    result = solve_synch(graph)
+    for use, version in form.use_versions.items():
+        if version is None:
+            continue
+        assert form.expand(version) == result.reaching_use(use), use
+
+
+@settings(max_examples=20, deadline=None)
+@given(prog=generated_programs(max_stmts=20))
+def test_merges_have_multiple_distinct_args(prog):
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    for merge in form.merges.values():
+        assert len(merge.arg_versions()) >= 2, merge.format()
+
+
+@settings(max_examples=15, deadline=None)
+@given(prog=generated_programs(max_stmts=20))
+def test_render_total(prog):
+    graph = build_pfg(prog)
+    form = build_cssa(graph)
+    text = render_cssa(graph, form)
+    assert text.count("block (") == len(graph.nodes)

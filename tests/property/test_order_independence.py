@@ -1,0 +1,67 @@
+"""Property: the fixpoint is independent of solver kind and visit order
+(only iteration counts differ) — the monotone-framework guarantee the
+paper appeals to in §2."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_pfg
+from repro.reachdefs import solve_parallel, solve_sequential, solve_synch
+
+from .conftest import generated_programs
+
+ORDERS = ["document", "rpo", "reverse-document", "random:13"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(), order=st.sampled_from(ORDERS))
+def test_round_robin_order_independent(prog, order):
+    graph = build_pfg(prog)
+    base = solve_synch(graph)
+    other = solve_synch(build_pfg(prog), order=order)
+    for a, b in zip(base.graph.nodes, other.graph.nodes):
+        assert base.in_names(a) == other.in_names(b)
+        assert base.out_names(a) == other.out_names(b)
+        assert base.set_names("ACCKillout", a) == other.set_names("ACCKillout", b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs())
+def test_chaotic_solvers_are_supersets_of_stabilized(prog):
+    """The equations admit multiple fixpoints (see
+    tests/regression/test_fixpoint_multiplicity.py): chaotic solvers may
+    land on non-least ones — and may fail to terminate at all (the
+    worklist never drains during non-monotone ping-pong; round-robin at
+    least detects a stable sweep).  When a chaotic solver does converge,
+    its solution must contain the stabilized one (same facts plus
+    possibly trapped ones)."""
+    from repro.dataflow.framework import FixpointDiverged
+
+    stab = solve_synch(build_pfg(prog))
+    assert stab.stats.converged  # the stabilized solver always terminates
+    for solver in ("round-robin", "worklist"):
+        try:
+            chaotic = solve_synch(build_pfg(prog), solver=solver)
+        except FixpointDiverged:
+            continue  # honest outcome of the literal equations
+        for a, b in zip(stab.graph.nodes, chaotic.graph.nodes):
+            assert stab.in_names(a) <= chaotic.in_names(b), (solver, a.name)
+            assert stab.out_names(a) <= chaotic.out_names(b), (solver, a.name)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False), order=st.sampled_from(ORDERS))
+def test_parallel_system_order_independent(prog, order):
+    base = solve_parallel(build_pfg(prog))
+    other = solve_parallel(build_pfg(prog), order=order, solver="worklist")
+    for a, b in zip(base.graph.nodes, other.graph.nodes):
+        assert base.in_names(a) == other.in_names(b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False), order=st.sampled_from(ORDERS))
+def test_sequential_system_order_independent(prog, order):
+    base = solve_sequential(build_pfg(prog))
+    other = solve_sequential(build_pfg(prog), order=order)
+    for a, b in zip(base.graph.nodes, other.graph.nodes):
+        assert base.in_names(a) == other.in_names(b)

@@ -1,0 +1,77 @@
+"""Property: Preserved sets are dynamically sound on loop-free programs.
+
+``p ∈ Preserved(n)`` claims: in every execution where both blocks run,
+``p`` completes before ``n`` begins.  On loop-free programs every block
+executes at most once, so the claim is directly checkable against the
+interpreter's node trace: whenever both appear, the *last* event of ``p``
+must precede the *first* event of ``n``.
+
+(Only blocks that emit trace events — assignments, waits, posts, branches
+— are checkable; empty forks/joins have no events, which only *weakens*
+the check, never falsifies it.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_pfg
+from repro.interp import RandomScheduler, run_program
+from repro.paper import programs
+from repro.reachdefs import compute_preserved
+from repro.synthetic import GeneratorConfig, generate_program
+
+from .conftest import program_seeds
+
+
+@st.composite
+def loopfree_programs(draw):
+    seed = draw(program_seeds)
+    cfg = GeneratorConfig(
+        target_stmts=draw(st.integers(8, 30)),
+        p_loop=0.0,
+        p_parallel=draw(st.sampled_from([0.25, 0.4])),
+        p_sync=0.7,
+    )
+    return generate_program(seed, cfg)
+
+
+def check_run_against_preserved(graph, preserved, run):
+    violations = []
+    for node in graph.nodes:
+        begin = run.first_step_of(node.name)
+        if begin is None:
+            continue
+        for p in preserved[node]:
+            end = run.last_step_of(p.name)
+            if end is None:
+                continue  # p did not execute (or emits no events): vacuous
+            if end >= begin:
+                violations.append((p.name, node.name, end, begin))
+    return violations
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=loopfree_programs(), sched_seed=st.integers(0, 50))
+def test_preserved_ordering_holds_dynamically(prog, sched_seed):
+    graph = build_pfg(prog)
+    preserved = compute_preserved(graph)
+    run = run_program(prog, RandomScheduler(seed=sched_seed), graph=graph)
+    assert check_run_against_preserved(graph, preserved, run) == []
+
+
+def test_preserved_ordering_on_paper_fig9():
+    prog = programs.program("fig9")
+    graph = build_pfg(prog)
+    preserved = compute_preserved(graph)
+    for seed in range(40):
+        run = run_program(prog, RandomScheduler(seed=seed), graph=graph)
+        assert check_run_against_preserved(graph, preserved, run) == []
+
+
+def test_preserved_ordering_on_fig3_single_iteration():
+    prog = programs.program("fig3")
+    graph = build_pfg(prog)
+    preserved = compute_preserved(graph)
+    for seed in range(40):
+        run = run_program(prog, RandomScheduler(seed=seed, max_loop_iters=1), graph=graph)
+        assert check_run_against_preserved(graph, preserved, run) == []

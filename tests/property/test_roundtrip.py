@@ -1,0 +1,41 @@
+"""Property: parse ∘ pretty = identity (structurally), and PFG building is
+deterministic, over generated programs."""
+
+from hypothesis import given, settings
+
+from repro import build_pfg
+from repro.lang import ast, parse_program, pretty
+
+from .conftest import generated_programs
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=generated_programs(max_stmts=40))
+def test_parse_pretty_roundtrip(prog):
+    text = pretty(prog)
+    again = parse_program(text)
+    assert ast.structurally_equal(prog, again)
+    # idempotent: printing the re-parse gives the same text
+    assert pretty(again) == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=generated_programs(max_stmts=30))
+def test_pfg_structure_deterministic(prog):
+    g1 = build_pfg(prog)
+    g2 = build_pfg(parse_program(pretty(prog)))
+    assert g1.names() == g2.names()
+    e1 = {(s.name, d.name, str(k)) for s, d, k in g1.edges()}
+    e2 = {(s.name, d.name, str(k)) for s, d, k in g2.edges()}
+    assert e1 == e2
+    assert g1.defs.names() == g2.defs.names()
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=generated_programs(max_stmts=30))
+def test_every_assignment_has_exactly_one_definition(prog):
+    graph = build_pfg(prog)
+    n_assigns = sum(1 for s in prog.walk() if isinstance(s, ast.Assign))
+    assert len(graph.defs) == n_assigns
+    per_node = sum(len(n.defs) for n in graph.nodes)
+    assert per_node == n_assigns

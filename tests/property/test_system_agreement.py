@@ -1,0 +1,85 @@
+"""Property: the three equation systems form a refinement chain.
+
+* On sequential programs, all three systems coincide.
+* On parallel programs without synchronization, §6 ≡ §5.
+* §6 with Preserved info is never less precise than with none (In/Out
+  shrink pointwise), and §5/§6 In sets at non-join/wait nodes relate
+  soundly to the naive sequential baseline.
+"""
+
+from hypothesis import given, settings
+
+from repro import build_pfg
+from repro.lang import ast
+from repro.reachdefs import solve_parallel, solve_sequential, solve_synch
+
+from .conftest import generated_programs, sequential_programs
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=sequential_programs())
+def test_all_systems_agree_on_sequential_programs(prog):
+    graph = build_pfg(prog)
+    seq = solve_sequential(graph)
+    par = solve_parallel(graph)
+    syn = solve_synch(graph)
+    for node in graph.nodes:
+        assert seq.In(node) == par.In(node) == syn.In(node)
+        assert seq.Out(node) == par.Out(node) == syn.Out(node)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False))
+def test_synch_equals_parallel_without_sync(prog):
+    graph = build_pfg(prog)
+    par = solve_parallel(graph)
+    syn = solve_synch(graph)
+    for node in graph.nodes:
+        assert par.In(node) == syn.In(node)
+        assert par.Out(node) == syn.Out(node)
+        assert par.ACCKillout(node) == syn.ACCKillout(node)
+        assert syn.SynchPass(node) == frozenset()
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs())
+def test_preserved_only_removes(prog):
+    graph = build_pfg(prog)
+    precise = solve_synch(graph, preserved="approx")
+    blunt = solve_synch(build_pfg(prog), preserved="none")
+    for a, b in zip(precise.graph.nodes, blunt.graph.nodes):
+        assert precise.in_names(a) <= blunt.in_names(b), a.name
+        assert precise.out_names(a) <= blunt.out_names(b), a.name
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False))
+def test_gen_always_in_out(prog):
+    result = solve_parallel(build_pfg(prog))
+    for node in result.graph.nodes:
+        assert result.Gen(node) <= result.Out(node)
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs())
+def test_in_out_disjoint_from_parallel_kill(prog):
+    result = solve_synch(build_pfg(prog))
+    for node in result.graph.nodes:
+        assert not (result.Out(node) & result.ParallelKill(node))
+        assert not (result.Out(node) & result.Kill(node))
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs())
+def test_every_use_with_local_def_has_chain(prog):
+    """Every use of an *assigned* variable whose assignment can reach it
+    sequentially produces a non-empty ud-chain under the conservative
+    systems.  (Weak sanity: chains never crash, and a use in the same
+    block after a def resolves locally.)"""
+    result = solve_synch(build_pfg(prog))
+    chains = result.ud_chains()
+    for use, defs in chains.items():
+        node = result.graph.node(use.site)
+        local = node.local_def_before(use.var, use.ordinal)
+        if local is not None:
+            assert defs == frozenset((local,))

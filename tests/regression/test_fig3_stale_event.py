@@ -1,0 +1,53 @@
+"""Regression: the paper's own caveat about its Figure 3 example.
+
+§3: "the event variable 'ev' is not cleared between iterations of the
+loop, and thus, this example would not execute properly."
+
+Concretely: on iteration ≥ 2 the event is still posted, so section B1's
+wait falls straight through *before* section A's post — the §6 equations'
+correctness assumption (every post executable before its wait, PCF [9])
+is violated, and executions exist whose reaching definitions lie outside
+the static sets.  Clearing the event each iteration (``fig3c``) restores
+the assumption, and soundness with it.  This test pins all three facts.
+"""
+
+from repro import analyze
+from repro.interp import RandomScheduler, check_soundness, run_program
+from repro.paper import programs
+
+
+def violations_over_seeds(key, max_loop_iters, seeds=60):
+    prog = programs.program(key)
+    result = analyze(prog)
+    out = []
+    for seed in range(seeds):
+        run = run_program(prog, RandomScheduler(seed=seed, max_loop_iters=max_loop_iters))
+        out.extend(check_soundness(result, run))
+    return out
+
+
+def test_broken_fig3_single_iteration_is_sound():
+    assert violations_over_seeds("fig3", max_loop_iters=1) == []
+
+
+def test_broken_fig3_multi_iteration_escapes_static_sets():
+    # The paper's "would not execute properly": some schedule lets the
+    # stale posting release the wait early, so a pre-post definition of x
+    # reaches the join — outside the static In set.
+    violations = violations_over_seeds("fig3", max_loop_iters=3, seeds=120)
+    assert violations, "expected the stale-event anomaly to be observable"
+    assert any(v.observation.use.var == "x" for v in violations)
+
+
+def test_cleared_fig3_is_sound_at_any_iteration_count():
+    assert violations_over_seeds("fig3c", max_loop_iters=4) == []
+
+
+def test_cleared_variant_same_analysis_results_on_shared_blocks():
+    # Adding clear(ev) must not change any data-flow set of the original
+    # blocks (clear is analysis-transparent).
+    broken = analyze(programs.program("fig3"))
+    cleared = analyze(programs.program("fig3c"))
+    for name in ["Entry", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11"]:
+        assert broken.in_names(name) == cleared.in_names(name), name
+        assert broken.out_names(name) == cleared.out_names(name), name

@@ -1,0 +1,78 @@
+"""Regression: the paper's *literal* SynchPass equation has no fixpoint on
+loop-carried tokens; the ordering filter (DESIGN.md §2, synch.py module
+docstring) restores convergence without changing any paper example.
+
+The trigger shape (distilled from generator seed 29): a loop around a
+construct in which the wait's thread redefines a variable that a section
+*concurrent with the wait* also defines — the concurrent definition
+circulates around the loop into the post's Out set, is treated as
+"definitely ordered before the wait", gets accumulated-killed at the join,
+vanishes from the loop-carried flow, drops out of SynchPass, stops being
+killed, reappears, ...
+"""
+
+import pytest
+
+from repro.dataflow.framework import FixpointDiverged
+from repro.lang import parse_program
+from repro.pfg import build_pfg
+from repro.reachdefs import solve_synch
+
+OSCILLATOR = """program oscillator
+event e
+(1) v = 0
+(2) loop
+  clear(e)
+  (3) parallel sections
+    (4) section POSTER
+      (4) post(e)
+    (5) section WAITER
+      (5) wait(e)
+      (5) v = 1
+    (6) section OTHER
+      (6) v = 2
+  (7) end parallel sections
+(8) endloop
+end"""
+
+
+def test_literal_equations_diverge():
+    graph = build_pfg(parse_program(OSCILLATOR))
+    with pytest.raises(FixpointDiverged):
+        solve_synch(
+            graph,
+            solver="round-robin",
+            filter_synch_pass=False,
+        )
+
+
+def test_filtered_equations_converge():
+    graph = build_pfg(parse_program(OSCILLATOR))
+    result = solve_synch(graph, solver="round-robin", filter_synch_pass=True)
+    assert result.stats.converged
+
+
+def test_filtered_result_keeps_concurrent_def():
+    # The concurrent definition v6 must reach the join: nothing orders it
+    # after the waiter's v5 (this is exactly what the literal equation got
+    # wrong before oscillating).
+    graph = build_pfg(parse_program(OSCILLATOR))
+    result = solve_synch(graph)
+    assert {d.name for d in result.reaching("7", "v")} == {"v5", "v6"}
+
+
+def test_filter_does_not_change_paper_results(fig3_graph):
+    # In/Out/ACCKill are identical with and without the filter on the
+    # paper's Figure 3.  (The auxiliary SynchPass set itself differs by
+    # loop-carried tokens — y11/z6/z9 — but node 8 defines only x, so
+    # OtherDefs ∩ SynchPass and hence every analysis result is the same.)
+    filtered = solve_synch(fig3_graph, solver="round-robin")
+    literal = solve_synch(fig3_graph, solver="round-robin", filter_synch_pass=False)
+    for node in fig3_graph.nodes:
+        assert filtered.in_names(node) == literal.in_names(node)
+        assert filtered.out_names(node) == literal.out_names(node)
+        assert filtered.set_names("ACCKillin", node) == literal.set_names("ACCKillin", node)
+        assert filtered.set_names("ACCKillout", node) == literal.set_names("ACCKillout", node)
+    node8 = fig3_graph.node("8")
+    extra = literal.SynchPass(node8) - filtered.SynchPass(node8)
+    assert {d.name for d in extra} == {"y11", "z6", "z9"}  # loop-carried tokens

@@ -1,0 +1,88 @@
+"""Anomaly / race detection tests."""
+
+from repro import analyze
+from repro.analysis import AnomalyKind, anomaly_summary, find_anomalies, races
+from repro.lang import parse_program
+from repro.paper import programs
+
+
+def anomalies_of(src):
+    return find_anomalies(analyze(parse_program(src)))
+
+
+def test_fig6_race_on_b(fig8_result):
+    found = find_anomalies(fig8_result)
+    by_key = {(a.node.name, a.var): a for a in found}
+    race_b = by_key[("10", "b")]
+    assert race_b.kind is AnomalyKind.RACE
+    assert {d.name for d in race_b.defs} == {"b3", "b5"}
+
+
+def test_fig6_conditional_c_is_multiple_not_race(fig8_result):
+    found = find_anomalies(fig8_result)
+    by_key = {(a.node.name, a.var): a for a in found}
+    multi_c = by_key[("10", "c")]
+    assert multi_c.kind is AnomalyKind.MULTIPLE
+    assert {d.name for d in multi_c.defs} == {"c1", "c7"}
+
+
+def test_fig3_race_on_z_at_join(fig3_result):
+    found = races(fig3_result)
+    assert any(a.node.name == "11" and a.var == "z" for a in found)
+
+
+def test_fig3_wait_sees_multiple_x(fig3_result):
+    found = find_anomalies(fig3_result)
+    wait_x = [a for a in found if a.node.name == "8" and a.var == "x"]
+    assert len(wait_x) == 1
+    assert wait_x[0].kind is AnomalyKind.RACE
+
+
+def test_clean_program_has_no_anomalies():
+    src = """program p
+(1) x = 1
+parallel sections
+  section A
+    (2) a = x + 1
+  section B
+    (3) b = x + 2
+end parallel sections
+(4) y = a + b
+end"""
+    assert anomalies_of(src) == []
+
+
+def test_race_requires_concurrent_defs():
+    # Sequentially merged multiple defs at a join are MULTIPLE, not RACE.
+    src = """program p
+(1) x = 1
+parallel sections
+  section A
+    if c then
+      (2) x = 2
+    endif
+  section B
+    (3) y = 3
+(4) end parallel sections
+end"""
+    found = anomalies_of(src)
+    assert all(a.kind is AnomalyKind.MULTIPLE for a in found)
+    assert any(a.var == "x" for a in found)
+
+
+def test_include_multiple_flag():
+    r = analyze(programs.program("fig6"))
+    only_races = find_anomalies(r, include_multiple=False)
+    assert all(a.kind is AnomalyKind.RACE for a in only_races)
+
+
+def test_summary_counts(fig8_result):
+    n_race, n_multi = anomaly_summary(fig8_result)
+    assert n_race == 1  # b at join 10
+    assert n_multi == 2  # c at joins 9 and 10
+
+
+def test_format_mentions_location(fig8_result):
+    a = find_anomalies(fig8_result)[0]
+    text = a.format()
+    assert a.var in text and a.node.name in text

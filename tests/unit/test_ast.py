@@ -1,0 +1,97 @@
+"""AST helper tests: walkers, variable collection, structural equality."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+
+
+def test_expr_variables_order_and_dedup():
+    e = ast.BinOp("+", ast.BinOp("*", ast.Var("b"), ast.Var("a")), ast.Var("b"))
+    assert e.variables() == ("b", "a")
+
+
+def test_literal_has_no_variables():
+    assert ast.IntLit(3).variables() == ()
+    assert ast.BoolLit(True).variables() == ()
+
+
+def test_unary_collects_variables():
+    assert ast.UnaryOp("-", ast.Var("x")).variables() == ("x",)
+
+
+def test_invalid_binop_rejected():
+    with pytest.raises(ValueError):
+        ast.BinOp("**", ast.IntLit(1), ast.IntLit(2))
+
+
+def test_invalid_unary_rejected():
+    with pytest.raises(ValueError):
+        ast.UnaryOp("+", ast.IntLit(1))
+
+
+def test_walk_visits_all_nested_statements():
+    src = """program p
+x = 1
+if c then
+  y = 2
+  loop
+    z = 3
+  endloop
+else
+  w = 4
+endif
+parallel sections
+  section A
+    a = 5
+  section B
+    b = 6
+end parallel sections
+end"""
+    prog = parse_program(src)
+    assigns = [s for s in prog.walk() if isinstance(s, ast.Assign)]
+    assert [a.target for a in assigns] == ["x", "y", "z", "w", "a", "b"]
+
+
+def test_assigned_variables_in_order():
+    prog = parse_program("program p\nb = 1\na = 2\nb = 3\nend")
+    assert prog.assigned_variables() == ("b", "a")
+
+
+def test_used_variables_includes_conditions():
+    prog = parse_program("program p\nif q < 1 then\nx = r\nendif\nend")
+    assert set(prog.used_variables()) == {"q", "r"}
+
+
+def test_statements_compare_by_identity():
+    a = ast.Assign(target="x", expr=ast.IntLit(1))
+    b = ast.Assign(target="x", expr=ast.IntLit(1))
+    assert a != b
+    assert a == a
+    assert len({a, b}) == 2  # hashable, distinct
+
+
+def test_list_index_uses_identity():
+    a = ast.Assign(target="x", expr=ast.IntLit(1))
+    b = ast.Assign(target="x", expr=ast.IntLit(1))
+    stmts = [a, b]
+    assert stmts.index(b) == 1
+
+
+def test_structural_equality_ignores_spans():
+    p1 = parse_program("program p\nx = 1\nend")
+    p2 = parse_program("program p\n\n\nx =    1\nend")
+    assert ast.structurally_equal(p1, p2)
+
+
+def test_structural_equality_detects_differences():
+    p1 = parse_program("program p\nx = 1\nend")
+    p2 = parse_program("program p\nx = 2\nend")
+    p3 = parse_program("program p\n(4) x = 1\nend")
+    assert not ast.structurally_equal(p1, p2)
+    assert not ast.structurally_equal(p1, p3)  # labels are significant
+
+
+def test_expressions_are_structurally_equal_values():
+    assert ast.BinOp("+", ast.Var("x"), ast.IntLit(1)) == ast.BinOp(
+        "+", ast.Var("x"), ast.IntLit(1)
+    )

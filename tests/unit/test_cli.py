@@ -1,0 +1,106 @@
+"""CLI tests (in-process, via main())."""
+
+import pytest
+
+from repro.tools.cli import main
+
+GOOD = """program demo
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) x = 2
+  (4) section B
+    (4) y = x
+(5) end parallel sections
+end
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.pcf"
+    path.write_text(GOOD)
+    return str(path)
+
+
+def test_parse_roundtrips(program_file, capsys):
+    assert main(["parse", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "program demo" in out and "(3) x = 2" in out
+
+
+def test_graph_describe(program_file, capsys):
+    assert main(["graph", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "[2:fork]" in out
+
+
+def test_graph_dot(program_file, capsys):
+    assert main(["graph", program_file, "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_analyze_prints_table_and_anomalies(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "parallel reaching definitions" in out
+    assert "ACCKillout" in out
+    assert "converged" in out
+
+
+def test_analyze_backend_flag(program_file, capsys):
+    assert main(["analyze", program_file, "--backend", "numpy"]) == 0
+    assert "Out" in capsys.readouterr().out
+
+
+def test_run_prints_final_values(program_file, capsys):
+    assert main(["run", program_file, "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "x : 2" in out
+
+
+def test_tables_named(capsys):
+    assert main(["tables", "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_tables_all(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Figure 8" in out and "digraph" in out
+
+
+def test_tables_unknown_name(capsys):
+    assert main(["tables", "fig99"]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_parse_error_reported(tmp_path, capsys):
+    bad = tmp_path / "bad.pcf"
+    bad.write_text("program p\nx = = 1\nend\n")
+    assert main(["parse", str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_missing_file_reported(capsys):
+    assert main(["parse", "/nonexistent/file.pcf"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cssa_command(program_file, capsys):
+    assert main(["cssa", program_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("CSSA form of demo")
+    assert "ψ(" in out
+
+
+def test_report_command(program_file, capsys):
+    assert main(["report", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "optimization report for 'demo'" in out
+    assert "safety:" in out and "opportunities:" in out
+
+
+def test_report_preserved_flag(program_file, capsys):
+    assert main(["report", program_file, "--preserved", "none"]) == 0
+    assert "optimization report" in capsys.readouterr().out

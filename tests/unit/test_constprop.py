@@ -1,0 +1,108 @@
+"""Constant-propagation client tests."""
+
+from repro import analyze
+from repro.analysis.constprop import UNDEF, VARYING, meet, propagate_constants
+from repro.lang import parse_program
+from repro.paper import programs
+
+
+def run(src):
+    result = analyze(parse_program(src))
+    return result, propagate_constants(result)
+
+
+def test_meet_lattice():
+    assert meet(UNDEF, 3) == 3
+    assert meet(3, UNDEF) == 3
+    assert meet(3, 3) == 3
+    assert meet(3, 4) is VARYING
+    assert meet(VARYING, 3) is VARYING
+    assert meet(True, 1) is VARYING  # bool vs int differ
+    assert meet(UNDEF, UNDEF) is UNDEF
+
+
+def test_straightline_constants():
+    _, cp = run("program p\n(1) x = 2\n(2) y = x * 3\n(3) z = y + x\nend")
+    defs = cp.result.graph.defs
+    assert cp.value_of(defs.by_name("x1")) == 2
+    assert cp.value_of(defs.by_name("y2")) == 6
+    assert cp.value_of(defs.by_name("z3")) == 8
+
+
+def test_branch_joins_to_varying():
+    _, cp = run("program p\n(1) x=1\nif c then\n(2) x=2\nendif\n(3) y=x\nend")
+    assert cp.value_at("3", "x") is VARYING
+    assert cp.constant_at("3", "x") is None
+
+
+def test_equal_branches_stay_constant():
+    _, cp = run("program p\nif c then\n(1) x=5\nelse\n(2) x=5\nendif\n(3) y=x\nend")
+    assert cp.constant_at("3", "x") == 5
+
+
+def test_free_variable_is_varying():
+    _, cp = run("program p\n(1) x = input + 1\nend")
+    assert cp.value_of(cp.result.graph.defs.by_name("x1")) is VARYING
+
+
+def test_paper_fig1b_k_is_5_after_construct():
+    # §1: "the variable k has the value 5 at the end of the parallel
+    # construct during each iteration" — requires the parallel equations.
+    r = analyze(programs.program("fig1b"))
+    cp = propagate_constants(r)
+    assert cp.constant_at("6", "k") == 5
+
+
+def test_paper_fig1a_k_not_constant():
+    r = analyze(programs.program("fig1a"))
+    cp = propagate_constants(r)
+    assert cp.constant_at("6", "k") is None
+
+
+def test_constants_through_parallel_sections():
+    src = """program p
+(1) x = 10
+parallel sections
+  section A
+    (2) a = x * 2
+  section B
+    (3) b = x + 1
+(4) end parallel sections
+(4) y = a + b
+end"""
+    _, cp = run(src)
+    assert cp.constant_at("4", "a") == 20
+    assert cp.constant_at("4", "b") == 11
+    assert cp.value_of(cp.result.graph.defs.by_name("y4")) == 31
+
+
+def test_division_by_zero_is_varying():
+    _, cp = run("program p\n(1) x = 0\n(2) y = 4 / x\nend")
+    assert cp.value_of(cp.result.graph.defs.by_name("y2")) is VARYING
+
+
+def test_boolean_operators():
+    _, cp = run("program p\n(1) t = 1 < 2\n(2) u = t and true\nend")
+    assert cp.value_of(cp.result.graph.defs.by_name("u2")) is True
+
+
+def test_unary_operators():
+    _, cp = run("program p\n(1) x = -3\n(2) y = not (1 < 0)\nend")
+    assert cp.value_of(cp.result.graph.defs.by_name("x1")) == -3
+    assert cp.value_of(cp.result.graph.defs.by_name("y2")) is True
+
+
+def test_loop_increment_becomes_varying():
+    _, cp = run("program p\n(1) x = 0\nloop\n(2) x = x + 1\nendloop\n(3) y = x\nend")
+    assert cp.value_at("3", "x") is VARYING
+
+
+def test_constant_defs_listing():
+    _, cp = run("program p\n(1) x = 2\n(2) y = x + c\nend")
+    consts = cp.constant_defs()
+    assert {d.name: v for d, v in consts.items()} == {"x2" if False else "x1": 2}
+
+
+def test_value_at_unreached_var_is_undef():
+    _, cp = run("program p\n(1) x = 1\nend")
+    assert cp.value_at("1", "nothere") is UNDEF

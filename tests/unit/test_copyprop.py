@@ -1,0 +1,68 @@
+"""Copy-propagation client tests."""
+
+from repro import analyze
+from repro.analysis import find_copy_propagations
+from repro.lang import parse_program
+
+
+def props(src):
+    return find_copy_propagations(analyze(parse_program(src)))
+
+
+def test_simple_copy_propagated():
+    found = props("program p\n(1) w = 1\n(2) v = w\n(3) z = v + 1\nend")
+    assert len(found) == 1
+    p = found[0]
+    assert p.use.var == "v" and p.source == "w"
+    assert p.copy_def.name == "v2"
+
+
+def test_source_redefined_between_blocks_copy():
+    found = props("program p\n(1) w = 1\n(2) v = w\n(3) w = 9\n(4) z = v\nend")
+    assert all(p.use.site != "4" for p in found)
+
+
+def test_multiple_reaching_defs_block_copy():
+    src = "program p\n(1) w=1\nif c then\n(2) v=w\nelse\n(3) v=2\nendif\n(4) z=v\nend"
+    assert props(src) == []
+
+
+def test_copy_through_join_propagates():
+    src = """program p
+(1) w = 1
+parallel sections
+  section A
+    (2) v = w
+  section B
+    (3) u = 2
+(4) end parallel sections
+(4) z = v
+end"""
+    found = props(src)
+    assert any(p.use.site == "4" and p.source == "w" for p in found)
+
+
+def test_concurrent_write_to_source_blocks_copy():
+    src = """program p
+(1) w = 1
+parallel sections
+  section A
+    (2) v = w
+    (3) z = v
+  section B
+    (4) w = 9
+(5) end parallel sections
+end"""
+    found = props(src)
+    assert all(p.use.site != "3" for p in found)
+
+
+def test_rhs_must_be_bare_variable():
+    found = props("program p\n(1) w = 1\n(2) v = w + 0\n(3) z = v\nend")
+    assert found == []
+
+
+def test_format():
+    found = props("program p\n(1) w = 1\n(2) v = w\n(3) z = v\nend")
+    text = found[0].format()
+    assert "replace v by w" in text

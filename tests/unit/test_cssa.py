@@ -1,0 +1,176 @@
+"""Concurrent SSA construction tests."""
+
+import pytest
+
+from repro import analyze, build_pfg
+from repro.cssa import MergeKind, build_cssa, render_cssa
+from repro.lang import parse_program
+from repro.paper import programs
+
+
+def cssa_of(src):
+    graph = build_pfg(parse_program(src))
+    return graph, build_cssa(graph)
+
+
+def merge_kinds(form):
+    return {(m.node.name, m.var): m.kind for m in form.merges.values()}
+
+
+def test_straightline_no_merges():
+    graph, form = cssa_of("program p\n(1) x = 1\n(2) x = x + 1\n(3) y = x\nend")
+    assert form.merges == {}
+    defs = graph.defs
+    assert str(form.version_of(defs.by_name("x1"))) == "x_1"
+    assert str(form.version_of(defs.by_name("x2"))) == "x_2"
+
+
+def test_versions_dense_per_variable():
+    _graph, form = cssa_of("program p\n(1) x = 1\n(1) y = 2\n(2) x = 3\nend")
+    assert [str(v) for v in form.all_versions("x")] == ["x_1", "x_2"]
+    assert [str(v) for v in form.all_versions("y")] == ["y_1"]
+
+
+def test_phi_at_sequential_merge():
+    graph, form = cssa_of(
+        "program p\n(1) x=1\n(2) if c then\n(3) x=2\nelse\n(4) x=3\n(5) endif\n(5) y=x\nend"
+    )
+    kinds = merge_kinds(form)
+    assert kinds == {("5", "x"): MergeKind.PHI}
+    merge = form.merges[(graph.node("5"), "x")]
+    assert {str(v) for v in merge.arg_versions()} == {"x_2", "x_3"}
+
+
+def test_phi_at_loop_header():
+    graph, form = cssa_of("program p\n(1) x=1\n(2) loop\n(3) x=x+1\n(4) endloop\nend")
+    kinds = merge_kinds(form)
+    assert kinds == {("2", "x"): MergeKind.PHI}
+    # the loop body's use of x reads the header φ
+    from repro.ir.defs import Use
+
+    assert str(form.use_versions[Use("x", "3", 0)]).startswith("x_")
+    merge = form.merges[(graph.node("2"), "x")]
+    assert form.use_versions[Use("x", "3", 0)] == merge.target
+
+
+def test_psi_at_parallel_join():
+    graph, form = cssa_of(
+        """program p
+(1) b = 1
+(2) parallel sections
+  (3) section A
+    (3) b = 2
+  (4) section B
+    (4) b = 3
+(5) end parallel sections
+end"""
+    )
+    kinds = merge_kinds(form)
+    assert kinds == {("5", "b"): MergeKind.PSI}
+    merge = form.merges[(graph.node("5"), "b")]
+    # a ψ with distinct argument versions is the paper's join anomaly
+    assert len(merge.arg_versions()) == 2
+
+
+def test_no_psi_when_single_section_writes():
+    _graph, form = cssa_of(
+        """program p
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) x = 2
+  (4) section B
+    (4) y = 3
+(5) end parallel sections
+end"""
+    )
+    # Only section A writes x: at the join, A's version vs the fork copy
+    # x_1 — a ψ is created (both versions arrive), mirroring the runtime
+    # merge of changed/unchanged copies.
+    kinds = merge_kinds(form)
+    assert kinds[("5", "x")] == MergeKind.PSI
+
+
+def test_pi_at_wait():
+    graph, form = cssa_of(
+        """program p
+event e
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) x = 2
+    (3) post(e)
+  (4) section B
+    (4) wait(e)
+    (4) y = x
+(5) end parallel sections
+end"""
+    )
+    kinds = merge_kinds(form)
+    assert kinds[("4", "x")] == MergeKind.PI
+    merge = form.merges[(graph.node("4"), "x")]
+    # arguments: fork copy (x_1) and the posted version (x_2)
+    assert {str(v) for v in merge.arg_versions()} == {"x_1", "x_2"}
+    from repro.ir.defs import Use
+
+    assert form.use_versions[Use("x", "4", 0)] == merge.target
+
+
+def test_fig6_merge_structure(fig6_graph):
+    form = build_cssa(fig6_graph)
+    kinds = merge_kinds(form)
+    assert kinds[("8", "c")] == MergeKind.PHI   # endif
+    assert kinds[("9", "b")] == MergeKind.PSI   # inner join
+    assert kinds[("10", "b")] == MergeKind.PSI  # outer join
+    assert kinds[("10", "a")] == MergeKind.PSI
+
+
+def test_fig6_expansion_covers_ud_chains(fig6_graph):
+    form = build_cssa(fig6_graph)
+    result = analyze(programs.program("fig6"))
+    for use, version in form.use_versions.items():
+        if version is None:
+            continue
+        expanded = {d.name for d in form.expand(version)}
+        static = {d.name for d in result.reaching_use(use)}
+        assert static <= expanded, use
+
+
+def test_expansion_equals_ud_chains_on_sequential(fig1a_graph):
+    form = build_cssa(fig1a_graph)
+    result = analyze(programs.program("fig1a"))
+    for use, version in form.use_versions.items():
+        if version is None:
+            continue
+        assert {d.name for d in form.expand(version)} == {
+            d.name for d in result.reaching_use(use)
+        }, use
+
+
+def test_single_version_at_every_block_start(fig3_graph):
+    form = build_cssa(fig3_graph)
+    # SSA property: after placement, each (block, var) has one start
+    # version — encoded by out_versions being a function, and every use
+    # resolving to at most one version.
+    for use, version in form.use_versions.items():
+        assert version is None or version.var == use.var
+
+
+def test_uninitialized_use_has_no_version():
+    _graph, form = cssa_of("program p\n(1) y = q\nend")
+    (version,) = form.use_versions.values()
+    assert version is None
+
+
+def test_render_contains_merges_and_versions(fig6_graph):
+    form = build_cssa(fig6_graph)
+    text = render_cssa(fig6_graph, form)
+    assert "ψ(" in text and "φ(" in text
+    assert "a_2 = (a_1 + 1)" in text
+    assert "P_⊥" in text  # free variable rendered as undefined version
+
+
+def test_merge_args_cover_all_preds(fig3_graph):
+    form = build_cssa(fig3_graph)
+    for (node, _var), merge in form.merges.items():
+        assert len(merge.args) == len(fig3_graph.all_preds(node))

@@ -1,0 +1,67 @@
+"""Dead-code elimination client tests."""
+
+from repro import analyze
+from repro.analysis import find_dead_code
+from repro.lang import parse_program
+
+
+def dead_names(src, **kw):
+    report = find_dead_code(analyze(parse_program(src)), **kw)
+    return {d.name for d in report.dead}
+
+
+def test_unused_def_is_dead_when_not_observable():
+    assert dead_names("program p\n(1) x = 1\n(2) x = 2\nend") == {"x1"}
+
+
+def test_exit_reaching_defs_live_by_default():
+    assert dead_names("program p\n(1) x = 1\nend") == set()
+
+
+def test_exit_observability_can_be_disabled():
+    assert dead_names("program p\n(1) x = 1\nend", observable_at_exit=False) == {"x1"}
+
+
+def test_transitive_liveness():
+    # y feeds z which reaches exit: both live; w is dead (overwritten,
+    # never read).
+    src = "program p\n(1) w = 1\n(2) y = 2\n(3) z = y\n(4) w = z\nend"
+    assert dead_names(src) == {"w1"}
+
+
+def test_branch_condition_keeps_defs_alive():
+    src = "program p\n(1) c = 1\nif c < 2 then\n(2) c = 9\nendif\nend"
+    assert "c1" not in dead_names(src, observable_at_exit=False)
+
+
+def test_parallel_kill_enables_cross_construct_dce(fig8_result):
+    # b1 is unconditionally killed by both sections of fig6 and never
+    # read: the parallel equations prove it dead.
+    from repro.analysis import find_dead_code
+
+    report = find_dead_code(fig8_result)
+    assert {d.name for d in report.dead} == {"b1"}
+
+
+def test_sequential_equations_would_keep_it(fig6_graph):
+    from repro.analysis import find_dead_code
+    from repro.reachdefs import solve_sequential
+
+    report = find_dead_code(solve_sequential(fig6_graph))
+    # Naive sequential analysis lets b1 reach the exit → not provably dead.
+    assert "b1" not in {d.name for d in report.dead}
+
+
+def test_live_dead_partition(fig8_result):
+    report = find_dead_code(fig8_result)
+    all_defs = set(fig8_result.graph.defs)
+    assert report.live | report.dead == frozenset(all_defs)
+    assert not (report.live & report.dead)
+
+
+def test_format():
+    src = "program p\n(1) x = 1\n(2) x = 2\nend"
+    report = find_dead_code(analyze(parse_program(src)))
+    assert "x1" in report.format()
+    clean = find_dead_code(analyze(parse_program("program p\n(1) x=1\nend")))
+    assert clean.format() == "no dead definitions"

@@ -1,0 +1,39 @@
+"""DOT export tests."""
+
+from repro.pfg import to_dot
+
+
+def test_dot_contains_all_nodes_and_edges(fig3_graph):
+    dot = to_dot(fig3_graph)
+    assert dot.startswith('digraph "fig3"')
+    for node in fig3_graph.nodes:
+        assert f"n{node.id} [" in dot
+    n_edges = sum(1 for _ in fig3_graph.edges())
+    assert dot.count(" -> ") == n_edges
+
+
+def test_edge_styles(fig3_graph):
+    dot = to_dot(fig3_graph)
+    assert "style=bold" in dot  # parallel edges
+    assert "style=dashed" in dot  # sync edges
+
+
+def test_fork_join_shapes(fig3_graph):
+    dot = to_dot(fig3_graph)
+    assert "shape=invhouse" in dot and "shape=house" in dot
+
+
+def test_statements_optional(fig3_graph):
+    with_stmts = to_dot(fig3_graph, include_stmts=True)
+    without = to_dot(fig3_graph, include_stmts=False)
+    assert "x = 7" in with_stmts
+    assert "x = 7" not in without
+
+
+def test_quotes_escaped(fig3_graph):
+    fig3_graph.program_name = 'weird"name'
+    try:
+        dot = to_dot(fig3_graph)
+        assert 'digraph "weird\\"name"' in dot
+    finally:
+        fig3_graph.program_name = "fig3"

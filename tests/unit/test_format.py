@@ -1,0 +1,48 @@
+"""Table/report formatting tests."""
+
+from repro.tools.format import format_set, render_kv, render_table
+
+
+def test_format_set_sorted():
+    assert format_set({"b1", "a2"}) == "{a2, b1}"
+    assert format_set(()) == "{}"
+
+
+def test_render_table_alignment():
+    rows = {
+        "1": {"In": {"x1"}, "Out": {"x1", "y2"}},
+        "longname": {"In": set(), "Out": {"z3"}},
+    }
+    text = render_table(rows, ["In", "Out"], ["1", "longname"], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    header, sep, r1, r2 = lines[1:5]
+    assert header.startswith("Node")
+    assert set(sep) <= {"-", "+"}
+    assert "{x1, y2}" in r1
+    assert r2.startswith("longname")
+    # columns align: separator as wide as widest row
+    assert len(sep) >= max(len(r1), len(r2)) - 1
+
+
+def test_render_table_missing_column_is_empty_set():
+    rows = {"1": {"In": {"a"}}}
+    text = render_table(rows, ["In", "Out"], ["1"])
+    assert "{}" in text
+
+
+def test_render_table_row_order_respected():
+    rows = {"b": {"C": set()}, "a": {"C": set()}}
+    text = render_table(rows, ["C"], ["b", "a"])
+    assert text.index("\nb") < text.index("\na")
+
+
+def test_render_kv():
+    text = render_kv({"alpha": "1", "b": "2"}, title="stats")
+    assert text.splitlines()[0] == "stats"
+    assert "alpha : 1" in text
+    assert "b     : 2" in text
+
+
+def test_render_kv_empty():
+    assert render_kv({}) == "\n"

@@ -1,0 +1,80 @@
+"""Synthetic program generator tests."""
+
+from repro.lang import ast, parse_program, pretty
+from repro.pfg import build_pfg, validate_pfg
+from repro.synthetic import GeneratorConfig, generate_program
+
+
+def test_deterministic_for_seed():
+    a = generate_program(7)
+    b = generate_program(7)
+    assert ast.structurally_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = generate_program(1)
+    b = generate_program(2)
+    assert not ast.structurally_equal(a, b)
+
+
+def test_generated_programs_parse_back():
+    for seed in range(10):
+        prog = generate_program(seed)
+        again = parse_program(pretty(prog))
+        assert ast.structurally_equal(prog, again)
+
+
+def test_generated_graphs_validate():
+    for seed in range(20):
+        validate_pfg(build_pfg(generate_program(seed)))
+
+
+def test_target_size_roughly_respected():
+    small = generate_program(3, GeneratorConfig(target_stmts=5))
+    big = generate_program(3, GeneratorConfig(target_stmts=80))
+    n_small = sum(1 for _ in small.walk())
+    n_big = sum(1 for _ in big.walk())
+    assert n_big > n_small
+
+
+def test_sync_pairs_are_wired_correctly():
+    cfg = GeneratorConfig(target_stmts=60, p_parallel=0.5, p_sync=1.0)
+    found_any = False
+    for seed in range(20):
+        prog = generate_program(seed, cfg)
+        waits = [s for s in prog.walk() if isinstance(s, ast.Wait)]
+        posts = [s for s in prog.walk() if isinstance(s, ast.Post)]
+        clears = [s for s in prog.walk() if isinstance(s, ast.Clear)]
+        if waits:
+            found_any = True
+        for w in waits:
+            assert any(p.event == w.event for p in posts), "wait without post"
+            assert any(c.event == w.event for c in clears), "wait without clear"
+        assert set(prog.events) == {s.event for s in posts} | {s.event for s in waits}
+    assert found_any
+
+
+def test_no_while_loops_generated():
+    for seed in range(20):
+        prog = generate_program(seed, GeneratorConfig(target_stmts=50))
+        assert not any(isinstance(s, ast.While) for s in prog.walk())
+
+
+def test_no_sync_config():
+    cfg = GeneratorConfig(target_stmts=60, with_sync=False, p_parallel=0.5)
+    for seed in range(10):
+        prog = generate_program(seed, cfg)
+        assert prog.events == []
+
+
+def test_sections_have_unique_names():
+    for seed in range(10):
+        prog = generate_program(seed, GeneratorConfig(target_stmts=60, p_parallel=0.6))
+        for stmt in prog.walk():
+            if isinstance(stmt, ast.ParallelSections):
+                names = [s.name for s in stmt.sections]
+                assert len(set(names)) == len(names)
+
+
+def test_custom_name():
+    assert generate_program(0, name="custom").name == "custom"

@@ -1,0 +1,106 @@
+"""Induction-variable detection tests — the paper's §1 motivation."""
+
+from repro import analyze
+from repro.analysis import find_induction_variables, find_loops
+from repro.lang import parse_program
+from repro.paper import programs
+
+
+def ivs(src):
+    result = analyze(parse_program(src))
+    return {iv.var: iv for iv in find_induction_variables(result)}
+
+
+def test_paper_fig1a_j_not_induction():
+    result = analyze(programs.program("fig1a"))
+    assert find_induction_variables(result) == []
+
+
+def test_paper_fig1b_j_is_induction():
+    result = analyze(programs.program("fig1b"))
+    found = {iv.var: iv for iv in find_induction_variables(result)}
+    assert set(found) == {"j"}
+    assert found["j"].steps == (1,)
+    assert found["j"].increments[0].name == "j4"
+
+
+def test_simple_sequential_induction():
+    found = ivs("program p\n(1) i = 0\nloop\n(2) i = i + 2\nendloop\nend")
+    assert found["i"].steps == (2,)
+
+
+def test_decrement_detected():
+    found = ivs("program p\n(1) i = 9\nloop\n(2) i = i - 1\nendloop\nend")
+    assert found["i"].steps == (-1,)
+
+
+def test_constant_plus_var_form():
+    found = ivs("program p\n(1) i = 0\nloop\n(2) i = 1 + i\nendloop\nend")
+    assert found["i"].steps == (1,)
+
+
+def test_conditional_increment_rejected():
+    found = ivs("program p\n(1) i = 0\nloop\nif c then\n(2) i = i + 1\nendif\nendloop\nend")
+    assert "i" not in found
+
+
+def test_non_increment_assignment_rejected():
+    found = ivs("program p\n(1) i = 0\nloop\n(2) i = i * 2\nendloop\nend")
+    assert "i" not in found
+
+
+def test_mixed_increment_and_reset_rejected():
+    found = ivs(
+        "program p\n(1) i = 0\nloop\n(2) i = i + 1\nif c then\n(3) i = 0\nendif\nendloop\nend"
+    )
+    assert "i" not in found
+
+
+def test_increment_in_nested_loop_rejected():
+    found = ivs("program p\n(1) i = 0\nloop\nloop\n(2) i = i + 1\nendloop\nendloop\nend")
+    # i is an IV of the *inner* loop, but not of the outer one.
+    result = analyze(
+        parse_program("program p\n(1) i = 0\nloop\nloop\n(2) i = i + 1\nendloop\nendloop\nend")
+    )
+    per_loop = find_induction_variables(result)
+    inner = [iv for iv in per_loop if iv.var == "i"]
+    assert len(inner) == 1
+
+
+def test_multiple_increments_in_parallel_sections():
+    # Two sections each increment a different variable: both are IVs.
+    src = """program p
+(1) i = 0
+(1) j = 0
+loop
+  parallel sections
+    section A
+      (2) i = i + 1
+    section B
+      (3) j = j + 3
+  end parallel sections
+endloop
+end"""
+    found = ivs(src)
+    assert found["i"].steps == (1,) and found["j"].steps == (3,)
+
+
+def test_find_loops_structure(fig3_graph):
+    loops = find_loops(fig3_graph)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header.name == "1" and loop.latch.name == "12"
+    assert fig3_graph.node("8") in loop
+    assert fig3_graph.node("Entry") not in loop
+
+
+def test_no_loops_no_ivs(fig6_graph):
+    from repro.reachdefs import solve_parallel
+
+    assert find_induction_variables(solve_parallel(fig6_graph)) == []
+
+
+def test_format_mentions_step():
+    result = analyze(programs.program("fig1b"))
+    (iv,) = find_induction_variables(result)
+    assert "+1" in iv.format() and "j" in iv.format()

@@ -1,0 +1,101 @@
+"""Runtime state and event tests."""
+
+from repro.interp.events import EventState
+from repro.interp.state import Cell, copy_env, merge_candidates
+from repro.ir.defs import DefTable
+
+
+def make_defs(*pairs):
+    t = DefTable()
+    return [t.add(var, site) for var, site in pairs]
+
+
+def test_copy_env_is_shallow_and_safe():
+    d, = make_defs(("x", "1"))
+    env = {"x": Cell(1, d, 1)}
+    clone = copy_env(env)
+    clone["x"] = Cell(2, d, 2)
+    assert env["x"].value == 1
+
+
+def test_merge_candidates_ignores_unchanged():
+    d, = make_defs(("x", "1"))
+    snapshot = {"x": Cell(1, d, 1)}
+    child = copy_env(snapshot)
+    assert merge_candidates(snapshot, [child]) == {}
+
+
+def test_merge_candidates_collects_changes():
+    d1, d2, d3 = make_defs(("x", "1"), ("x", "2"), ("x", "3"))
+    snapshot = {"x": Cell(0, d1, 1)}
+    c1 = {"x": Cell(5, d2, 7)}
+    c2 = {"x": Cell(9, d3, 8)}
+    cands = merge_candidates(snapshot, [c1, c2])
+    assert {c.definition.name for c in cands["x"]} == {"x2", "x3"}
+
+
+def test_merge_candidates_dedupes_same_write():
+    d1, d2 = make_defs(("x", "1"), ("x", "2"))
+    snapshot = {"x": Cell(0, d1, 1)}
+    shared = Cell(5, d2, 7)  # e.g. absorbed by both children via wait
+    cands = merge_candidates(snapshot, [{"x": shared}, {"x": shared}])
+    assert len(cands["x"]) == 1
+
+
+def test_merge_candidates_new_variable():
+    snapshot = {}
+    d, = make_defs(("y", "4"))
+    cands = merge_candidates(snapshot, [{"y": Cell(2, d, 3)}])
+    assert "y" in cands
+
+
+def test_event_post_and_clear():
+    e = EventState("ev")
+    assert not e.posted
+    e.post({"x": Cell(1, None, 1)})
+    assert e.posted and len(e.snapshots) == 1
+    e.clear()
+    assert not e.posted and e.snapshots == []
+
+
+def test_absorb_latest_write_wins():
+    d1, d2 = make_defs(("x", "1"), ("x", "2"))
+    e = EventState("ev")
+    e.post({"x": Cell(10, d2, 9)})
+    env = {"x": Cell(1, d1, 3)}
+    conflicts = e.absorb_into(env)
+    assert env["x"].value == 10
+    assert {c.definition.name for c in conflicts["x"]} == {"x1", "x2"}
+
+
+def test_absorb_keeps_newer_local_value():
+    d1, d2 = make_defs(("x", "1"), ("x", "2"))
+    e = EventState("ev")
+    e.post({"x": Cell(10, d1, 3)})
+    env = {"x": Cell(99, d2, 9)}  # waiter already has a newer write
+    e.absorb_into(env)
+    assert env["x"].value == 99
+
+
+def test_absorb_same_write_no_conflict():
+    d, = make_defs(("x", "1"))
+    cell = Cell(1, d, 5)
+    e = EventState("ev")
+    e.post({"x": cell})
+    env = {"x": cell}
+    assert e.absorb_into(env) == {}
+
+
+def test_absorb_new_variable_adopted():
+    d, = make_defs(("z", "3"))
+    e = EventState("ev")
+    e.post({"z": Cell(7, d, 4)})
+    env = {}
+    conflicts = e.absorb_into(env)
+    assert env["z"].value == 7 and conflicts == {}
+
+
+def test_cell_describe():
+    d, = make_defs(("x", "4"))
+    assert "x4" in Cell(7, d, 3).describe()
+    assert "input" in Cell(7, None, 0).describe()

@@ -1,0 +1,227 @@
+"""Interpreter unit tests: sequential semantics, fork/join merging,
+events, provenance, deadlock, budgets."""
+
+import pytest
+
+from repro.interp import (
+    Interpreter,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StepBudgetExceeded,
+    run_program,
+)
+from repro.lang import parse_program
+
+
+def run(src, scheduler=None, **kw):
+    return run_program(parse_program(src), scheduler=scheduler, **kw)
+
+
+def test_straightline_arithmetic():
+    r = run("program p\nx = 2\ny = x * 3 + 1\nend")
+    assert r.value("y") == 7
+
+
+def test_division_and_modulo():
+    r = run("program p\na = 7 / 2\nb = 7 % 2\nc = 7 / 0\nend")
+    assert r.value("a") == 3 and r.value("b") == 1 and r.value("c") == 0
+
+
+def test_comparisons_and_logic():
+    r = run("program p\na = 1 < 2\nb = 2 <= 1\nc = a and not b\nend")
+    assert r.value("c") is True
+
+
+def test_if_takes_correct_branch():
+    r = run("program p\nx = 5\nif x > 3 then\ny = 1\nelse\ny = 2\nendif\nend")
+    assert r.value("y") == 1
+
+
+def test_while_loop_terminates():
+    r = run("program p\nx = 0\nwhile x < 5 do\nx = x + 1\nendwhile\nend")
+    assert r.value("x") == 5
+
+
+def test_loop_trip_count_from_scheduler():
+    r = run(
+        "program p\nx = 0\nloop\nx = x + 1\nendloop\nend",
+        RoundRobinScheduler(max_loop_iters=4),
+    )
+    assert r.value("x") == 4
+
+
+def test_free_variable_fixed_per_run():
+    r = run("program p\na = q\nb = q\nend", RandomScheduler(seed=5))
+    assert r.value("a") == r.value("b")
+    assert "q" in r.inputs
+
+
+def test_fork_copies_and_join_merges():
+    src = """program p
+x = 1
+parallel sections
+  section A
+    x = 2
+  section B
+    y = x
+end parallel sections
+end"""
+    r = run(src, RoundRobinScheduler())
+    # B read its fork-time copy, A's write merged back at the join.
+    assert r.value("y") == 1
+    assert r.value("x") == 2
+
+
+def test_join_merge_records_conflicts():
+    src = """program p
+x = 0
+parallel sections
+  section A
+    x = 1
+  section B
+    x = 2
+end parallel sections
+end"""
+    r = run(src, RandomScheduler(seed=0))
+    (merge,) = [m for m in r.merges if m.var == "x"]
+    assert len(merge.candidates) == 2
+    assert r.value("x") in (1, 2)
+
+
+def test_unchanged_variable_kept_from_parent():
+    src = """program p
+x = 9
+parallel sections
+  section A
+    y = 1
+  section B
+    z = 2
+end parallel sections
+end"""
+    r = run(src)
+    assert r.value("x") == 9 and r.merges == []
+
+
+def test_post_wait_transfers_values():
+    src = """program p
+event e
+parallel sections
+  section A
+    x = 42
+    post(e)
+  section B
+    wait(e)
+    y = x
+end parallel sections
+end"""
+    for seed in range(10):
+        r = run(src, RandomScheduler(seed=seed))
+        assert not r.deadlocked
+        assert r.value("y") == 42
+
+
+def test_wait_without_post_deadlocks():
+    src = """program p
+event e
+parallel sections
+  section A
+    wait(e)
+  section B
+    x = 1
+end parallel sections
+end"""
+    r = run(src)
+    assert r.deadlocked
+
+
+def test_clear_resets_event():
+    src = """program p
+event e
+post(e)
+clear(e)
+parallel sections
+  section A
+    wait(e)
+  section B
+    x = 1
+end parallel sections
+end"""
+    r = run(src)
+    assert r.deadlocked  # post was cleared before the construct
+
+
+def test_stale_event_releases_wait():
+    src = """program p
+event e
+post(e)
+parallel sections
+  section A
+    wait(e)
+    x = 1
+  section B
+    y = 2
+end parallel sections
+end"""
+    r = run(src)
+    assert not r.deadlocked and r.value("x") == 1
+
+
+def test_nested_parallel_sections():
+    src = """program p
+x = 0
+parallel sections
+  section A
+    parallel sections
+      section A1
+        a = 1
+      section A2
+        b = 2
+    end parallel sections
+    c = a + b
+  section B
+    d = 4
+end parallel sections
+y = c + d
+end"""
+    r = run(src)
+    assert r.value("y") == 7
+
+
+def test_use_observations_carry_definitions():
+    src = "program p\n(1) x = 1\n(2) y = x\nend"
+    r = run(src)
+    obs = [o for o in r.uses if o.use.var == "x"]
+    assert len(obs) == 1
+    assert obs[0].definition.name == "x1"
+    assert obs[0].use.site == "2"
+
+
+def test_input_observation_has_no_definition():
+    r = run("program p\ny = q\nend")
+    (obs,) = r.uses
+    assert obs.definition is None
+
+
+def test_step_budget_enforced():
+    src = "program p\nx = 0\nwhile 1 < 2 do\nx = x + 1\nendwhile\nend"
+    with pytest.raises(StepBudgetExceeded):
+        run(src, max_steps=100)
+
+
+def test_steps_counted():
+    r = run("program p\nx = 1\ny = 2\nend")
+    assert r.steps > 0
+
+
+def test_deterministic_under_fixed_seed():
+    src = """program p
+x = 0
+parallel sections
+  section A
+    x = x + 1
+  section B
+    x = x + 2
+end parallel sections
+end"""
+    runs = [run(src, RandomScheduler(seed=9)).value("x") for _ in range(3)]
+    assert len(set(runs)) == 1

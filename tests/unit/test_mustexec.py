@@ -1,0 +1,81 @@
+"""Must-execute analysis tests."""
+
+from repro.analysis.mustexec import (
+    always_executes_per_iteration,
+    compute_must_done,
+    loop_body,
+)
+from repro.lang import parse_program
+from repro.pfg import build_pfg
+from repro.paper import programs
+
+
+def must_names(graph, node_name):
+    must = compute_must_done(graph)
+    return {n.name for n in must[graph.node(node_name)]}
+
+
+def test_straightline_everything_must_execute():
+    g = build_pfg(parse_program("program p\n(1) x=1\n(2) y=2\n(3) z=3\nend"))
+    assert must_names(g, "3") == {"Entry", "1", "2"}
+
+
+def test_branch_arms_not_must():
+    g = build_pfg(parse_program("program p\n(1) if c then\n(2) x=1\nelse\n(3) x=2\n(4) endif\nend"))
+    names = must_names(g, "4")
+    assert "1" in names
+    assert "2" not in names and "3" not in names
+
+
+def test_parallel_sections_are_must():
+    src = """program p
+(1) x = 0
+(2) parallel sections
+  (3) section A
+    (3) a = 1
+  (4) section B
+    (4) b = 2
+(5) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    names = must_names(g, "5")
+    assert {"1", "2", "3", "4"} <= names
+
+
+def test_conditional_inside_section_not_must():
+    src = """program p
+(2) parallel sections
+  (3) section A
+    if c then
+      (4) a = 1
+    endif
+  (5) section B
+    (5) b = 2
+(6) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    names = must_names(g, "6")
+    assert "5" in names and "4" not in names
+
+
+def test_fig1_contrast():
+    # The §1 motivation in must-execute terms: the increment block (4) is
+    # must-execute per iteration in fig1b but not in fig1a.
+    g_seq = programs.graph("fig1a")
+    g_par = programs.graph("fig1b")
+    latch_seq = g_seq.node("7")
+    latch_par = g_par.node("7")
+    assert not always_executes_per_iteration(g_seq, g_seq.node("4"), latch_seq)
+    assert always_executes_per_iteration(g_par, g_par.node("4"), latch_par)
+
+
+def test_loop_body_extent(fig3_graph):
+    body = loop_body(fig3_graph, fig3_graph.node("12"), fig3_graph.node("1"))
+    names = {n.name for n in body}
+    assert names == {"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12"}
+
+
+def test_must_done_ignores_back_edges(fig3_graph):
+    # Loop latch facts must not leak around the back edge into the header.
+    names = must_names(fig3_graph, "1")
+    assert "11" not in names and "12" not in names

@@ -1,0 +1,91 @@
+"""Graph container tests: adjacency views, traversal, back edges."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.pfg import EdgeKind, NodeKind, ParallelFlowGraph, build_pfg
+
+
+def test_duplicate_edges_ignored():
+    g = ParallelFlowGraph("t")
+    a = g.new_node(NodeKind.BASIC, "a")
+    b = g.new_node(NodeKind.BASIC, "b")
+    g.add_edge(a, b, EdgeKind.SEQ)
+    g.add_edge(a, b, EdgeKind.SEQ)
+    assert g.succs(a) == [b]
+
+
+def test_same_endpoints_different_kind_both_kept():
+    g = ParallelFlowGraph("t")
+    a = g.new_node(NodeKind.BASIC, "a")
+    b = g.new_node(NodeKind.BASIC, "b")
+    g.add_edge(a, b, EdgeKind.SEQ)
+    g.add_edge(a, b, EdgeKind.SYNC)
+    assert len(g.out_edges(a)) == 2
+
+
+def test_pred_families_split_by_kind(fig3_graph):
+    g = fig3_graph
+    n8 = g.node("8")
+    assert {p.name for p in g.sync_preds(n8)} == {"4", "5"}
+    assert {p.name for p in g.par_preds(n8)} == {"7"}
+    assert g.seq_preds(n8) == []
+    assert {p.name for p in g.all_preds(n8)} == {"4", "5", "7"}
+
+
+def test_control_preds_exclude_sync(fig3_graph):
+    g = fig3_graph
+    assert {p.name for p in g.control_preds(g.node("8"))} == {"7"}
+
+
+def test_node_lookup_by_name(fig3_graph):
+    assert fig3_graph.node("11").kind is NodeKind.JOIN
+    with pytest.raises(KeyError):
+        fig3_graph.node("nope")
+
+
+def test_rpo_starts_at_entry_and_respects_edges(fig3_graph):
+    rpo = fig3_graph.reverse_postorder()
+    assert rpo[0] is fig3_graph.entry
+    pos = {n: i for i, n in enumerate(rpo)}
+    back = fig3_graph.back_edges()
+    for src, dst, kind in fig3_graph.edges():
+        if kind is EdgeKind.SYNC or (src, dst) in back:
+            continue
+        assert pos[src] < pos[dst], f"{src.name} should precede {dst.name}"
+
+
+def test_back_edges_found(fig3_graph):
+    assert {(a.name, b.name) for a, b in fig3_graph.back_edges()} == {("12", "1")}
+
+
+def test_forward_control_preds_drop_back_edge(fig3_graph):
+    g = fig3_graph
+    preds = g.forward_control_preds(g.node("1"))
+    assert {p.name for p in preds} == {"Entry"}
+
+
+def test_no_back_edges_in_dag():
+    g = build_pfg(parse_program("program p\nif c then\nx=1\nendif\nend"))
+    assert g.back_edges() == set()
+
+
+def test_document_order_is_creation_order(fig3_graph):
+    assert [n.id for n in fig3_graph.document_order()] == list(range(len(fig3_graph)))
+
+
+def test_edge_count_by_kind(fig3_graph):
+    assert fig3_graph.edge_count((EdgeKind.SYNC,)) == 2
+    total = fig3_graph.edge_count()
+    assert total == len(list(fig3_graph.edges()))
+
+
+def test_names_unique(fig3_graph):
+    names = fig3_graph.names()
+    assert len(set(names)) == len(names)
+
+
+def test_describe_mentions_every_node(fig3_graph):
+    text = fig3_graph.describe()
+    for n in fig3_graph.nodes:
+        assert f"[{n.name}:" in text

@@ -1,0 +1,163 @@
+"""Preserved-set approximation tests (paper §6 / Callahan–Subhlok)."""
+
+from repro.lang import parse_program
+from repro.pfg import build_pfg
+from repro.reachdefs.preserved import (
+    compute_preserved,
+    empty_preserved,
+    resolve_preserved,
+)
+
+
+def preserved_names(graph, node_name):
+    return {n.name for n in compute_preserved(graph)[graph.node(node_name)]}
+
+
+def test_paper_preserved_8(fig3_graph):
+    # Paper §6, verbatim: Preserved(8) = {Entry, 1, 2, 3, 4, 5, 7}.
+    assert preserved_names(fig3_graph, "8") == {"Entry", "1", "2", "3", "4", "5", "7"}
+
+
+def test_forward_ancestors_preserved(fig3_graph):
+    # Node 6 (endif in section A): all its forward ancestors.
+    assert preserved_names(fig3_graph, "6") == {"Entry", "1", "2", "3", "4", "5"}
+
+
+def test_concurrent_sections_not_preserved(fig3_graph):
+    # Section B's nodes are not preserved for section A's node 6.
+    assert preserved_names(fig3_graph, "6").isdisjoint({"7", "8", "9", "10"})
+
+
+def test_join_preserves_all_sections(fig3_graph):
+    names = preserved_names(fig3_graph, "11")
+    assert {"3", "4", "5", "6", "7", "8", "9", "10"} <= names
+
+
+def test_back_edges_ignored(fig3_graph):
+    # Node 1 is the loop header; 12 precedes it only via the back edge.
+    assert "12" not in preserved_names(fig3_graph, "1")
+
+
+def test_entry_has_empty_preserved(fig3_graph):
+    assert preserved_names(fig3_graph, "Entry") == set()
+
+
+def test_wait_without_posts_gets_only_ancestors():
+    src = """program p
+event e
+(1) x = 1
+parallel sections
+  section A
+    (2) wait(e)
+  section B
+    (3) y = 2
+end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    pres = compute_preserved(g)
+    assert {n.name for n in pres[g.node("2")]} == {"Entry", "1", g.forks[0].name}
+
+
+def test_sole_post_fully_preserved():
+    src = """program p
+event e
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) a = 1
+    (4) b = 2
+    (4) post(e)
+  (5) section B
+    (5) wait(e)
+(6) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    pres = compute_preserved(g)
+    names = {n.name for n in pres[g.node("5")]}
+    # The post and everything sequentially before it.
+    assert {"3", "4"} <= names
+
+
+def test_non_exclusive_posts_only_common_part():
+    # Two posts in *different concurrent sections*: neither individually
+    # guaranteed to precede the wait, only their common ancestors.
+    src = """program p
+event e
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) a = 1
+    (3) post(e)
+  (4) section B
+    (4) b = 2
+    (4) post(e)
+  (5) section C
+    (5) wait(e)
+(6) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    pres = compute_preserved(g)
+    names = {n.name for n in pres[g.node("5")]}
+    assert "3" not in names and "4" not in names
+    assert {"Entry", "1", "2"} <= names
+
+
+def test_ordered_posts_not_sole_releasers():
+    # Two posts in sequence in one section: the first may release the wait,
+    # so the *second* is not preserved; the first is (it precedes both).
+    src = """program p
+event e
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) post(e)
+    (4) a = 1
+    (4) post(e)
+  (5) section B
+    (5) wait(e)
+(6) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    pres = compute_preserved(g)
+    names = {n.name for n in pres[g.node("5")]}
+    assert "3" in names  # common prefix of both posts
+    assert "4" not in names
+
+
+def test_preserved_propagates_past_wait():
+    src = """program p
+event e
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) a = 1
+    (3) post(e)
+  (4) section B
+    (4) wait(e)
+    (5) b = 2
+(6) end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    pres = compute_preserved(g)
+    # Node 5, after the wait, inherits the wait's ordering facts.
+    assert "3" in {n.name for n in pres[g.node("5")]}
+
+
+def test_empty_preserved_mode(fig3_graph):
+    pres = empty_preserved(fig3_graph)
+    assert all(not pres[n] for n in fig3_graph.nodes)
+    assert pres.passes == 0
+
+
+def test_resolve_modes(fig3_graph):
+    assert resolve_preserved(fig3_graph, "approx").preserved
+    assert resolve_preserved(fig3_graph, "none")[fig3_graph.node("8")] == frozenset()
+    node8 = fig3_graph.node("8")
+    oracle = resolve_preserved(fig3_graph, "oracle", {node8: {fig3_graph.node("4")}})
+    assert oracle[node8] == frozenset({fig3_graph.node("4")})
+    assert oracle[fig3_graph.node("9")] == frozenset()
+
+
+def test_names_helper(fig3_graph):
+    pres = compute_preserved(fig3_graph)
+    assert pres.names(fig3_graph.node("8")) == frozenset({"Entry", "1", "2", "3", "4", "5", "7"})

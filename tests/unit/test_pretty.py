@@ -1,0 +1,54 @@
+"""Pretty-printer tests (round-trips; the property version lives in
+tests/property/test_roundtrip.py)."""
+
+from repro.lang import ast, parse_program, pretty
+from repro.paper import programs
+
+
+def roundtrip(source: str) -> None:
+    prog = parse_program(source)
+    again = parse_program(pretty(prog))
+    assert ast.structurally_equal(prog, again)
+
+
+def test_roundtrip_simple():
+    roundtrip("program p\nx = 1 + 2 * y\nend")
+
+
+def test_roundtrip_if_else():
+    roundtrip("program p\nif a < b then\nx = 1\nelse\ny = 2\n(6) endif\nend")
+
+
+def test_roundtrip_loops():
+    roundtrip("program p\n(2) loop\nwhile x < 3 do\nx = x + 1\nendwhile\n(7) endloop\nend")
+
+
+def test_roundtrip_parallel_and_sync():
+    roundtrip(programs.SOURCES["fig3"])
+
+
+def test_roundtrip_all_paper_programs():
+    for key, src in programs.SOURCES.items():
+        prog = parse_program(src)
+        again = parse_program(pretty(prog))
+        assert ast.structurally_equal(prog, again), key
+
+
+def test_labels_rendered():
+    text = pretty(parse_program("program p\n(4) x = 7\nend"))
+    assert "(4) x = 7" in text
+
+
+def test_end_labels_rendered():
+    text = pretty(parse_program("program p\n(2) loop\nx=1\n(7) endloop\nend"))
+    assert "(7) endloop" in text
+
+
+def test_skip_rendered():
+    text = pretty(parse_program("program p\nskip\nend"))
+    assert "skip" in text
+
+
+def test_events_rendered():
+    text = pretty(parse_program("program p\nevent e\npost(e)\nend"))
+    assert "event e" in text and "post(e)" in text

@@ -1,0 +1,63 @@
+"""Region / parallel-construct tests."""
+
+from repro.lang import parse_program
+from repro.pfg import build_pfg, compute_regions
+
+
+def test_fig3_regions(fig3_graph):
+    regions = compute_regions(fig3_graph)
+    assert len(regions) == 2
+    outer, inner = regions[0], regions[1]
+    assert outer.fork.name == "2" and outer.join.name == "11"
+    assert inner.fork.name == "7" and inner.join.name == "10"
+    assert outer.section_names == ("A", "B")
+    assert inner.section_names == ("B1", "B2")
+
+
+def test_section_nodes_cover_nested_constructs(fig3_graph):
+    regions = compute_regions(fig3_graph)
+    outer = regions[0]
+    section_b = {n.name for n in outer.section_nodes[1]}
+    # Section B contains the inner fork/join and both inner sections.
+    assert {"7", "8", "9", "10"} <= section_b
+    section_a = {n.name for n in outer.section_nodes[0]}
+    assert section_a == {"3", "4", "5", "6"}
+
+
+def test_section_of(fig3_graph):
+    regions = compute_regions(fig3_graph)
+    outer = regions[0]
+    assert outer.section_of(fig3_graph.node("4")) == 0
+    assert outer.section_of(fig3_graph.node("9")) == 1
+    assert outer.section_of(fig3_graph.node("2")) is None  # the fork itself
+    assert outer.section_of(fig3_graph.node("Entry")) is None
+
+
+def test_enclosing_and_innermost(fig3_graph):
+    regions = compute_regions(fig3_graph)
+    n9 = fig3_graph.node("9")
+    enclosing = regions.enclosing(n9)
+    assert [c.construct_id for c in enclosing] == [0, 1]
+    assert regions.innermost(n9).construct_id == 1
+    assert regions.innermost(fig3_graph.node("1")) is None
+
+
+def test_empty_section_still_listed():
+    src = """program p
+parallel sections
+  section A
+    skip
+  section B
+    y = 1
+end parallel sections
+end"""
+    g = build_pfg(parse_program(src))
+    regions = compute_regions(g)
+    construct = regions[0]
+    assert construct.n_sections == 2
+    assert len(construct.section_nodes[0]) == 1  # the empty block
+
+
+def test_no_constructs():
+    g = build_pfg(parse_program("program p\nx = 1\nend"))
+    assert len(compute_regions(g)) == 0

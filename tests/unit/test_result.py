@@ -1,0 +1,84 @@
+"""ReachingDefsResult query tests."""
+
+import pytest
+
+from repro.ir.defs import Use
+from repro.lang import parse_program
+from repro.pfg import build_pfg
+from repro.reachdefs import solve_parallel, solve_sequential
+
+
+@pytest.fixture
+def result():
+    src = """program p
+(1) x = 1
+(1) y = x
+(2) if x < 2 then
+(3) x = 3
+endif
+(4) z = x + y
+end"""
+    return solve_sequential(build_pfg(parse_program(src)))
+
+
+def test_access_by_name_and_node(result):
+    node = result.graph.node("4")
+    assert result.In("4") == result.In(node)
+
+
+def test_reaching_filters_by_var(result):
+    assert {d.name for d in result.reaching("4", "x")} == {"x1", "x3"}
+    assert {d.name for d in result.reaching("4", "y")} == {"y1"}
+
+
+def test_ud_chains_cover_all_uses(result):
+    chains = result.ud_chains()
+    sites = {u.site for u in chains}
+    assert sites == {"1", "2", "4"}
+    use_z = [u for u in chains if u.site == "4" and u.var == "y"][0]
+    assert {d.name for d in chains[use_z]} == {"y1"}
+
+
+def test_branch_condition_is_a_use(result):
+    chains = result.ud_chains()
+    cond_uses = [u for u in chains if u.site == "2"]
+    assert len(cond_uses) == 1
+    assert cond_uses[0].var == "x"
+
+
+def test_du_chains_invert_ud(result):
+    ud = result.ud_chains()
+    du = result.du_chains()
+    for use, defs in ud.items():
+        for d in defs:
+            assert use in du[d]
+    # x3 is used only at (4).
+    x3 = result.graph.defs.by_name("x3")
+    assert {u.site for u in du[x3]} == {"4"}
+
+
+def test_same_block_use_after_def(result):
+    use = Use(var="x", site="1", ordinal=1)  # y = x after x = 1
+    assert {d.name for d in result.reaching_use(use)} == {"x1"}
+
+
+def test_row_rendering_sequential(result):
+    row = result.row("4")
+    assert set(row) == {"Gen", "Kill", "In", "Out"}
+    assert row["Gen"] == {"z4"}
+
+
+def test_row_rendering_parallel(fig6_graph):
+    r = solve_parallel(fig6_graph)
+    row = r.row("10")
+    assert "ACCKillout" in row and "ParKill" in row
+    assert row["ACCKillout"] == {"a1", "b1"}
+
+
+def test_accessors_guarded_on_sequential(result):
+    with pytest.raises(AssertionError):
+        result.ACCKillout("4")
+    with pytest.raises(AssertionError):
+        result.SynchPass("4")
+    with pytest.raises(AssertionError):
+        result.Preserved("4")

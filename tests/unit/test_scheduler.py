@@ -1,0 +1,104 @@
+"""Scheduler and exhaustive-explorer tests."""
+
+from repro.interp import (
+    ExhaustiveExplorer,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    run_program,
+)
+from repro.lang import parse_program
+
+
+def test_round_robin_picks_lowest():
+    s = RoundRobinScheduler()
+    assert s.pick_thread([3, 1, 2]) == 1
+
+
+def test_random_scheduler_deterministic_by_seed():
+    a = [RandomScheduler(seed=1).pick_thread([0, 1, 2]) for _ in range(5)]
+    b = [RandomScheduler(seed=1).pick_thread([0, 1, 2]) for _ in range(5)]
+    assert a == b
+
+
+def test_random_loop_bounded():
+    s = RandomScheduler(seed=0, max_loop_iters=2, continue_prob=1.0)
+    assert s.loop_decision((0, 0), 0)
+    assert s.loop_decision((0, 0), 1)
+    assert not s.loop_decision((0, 0), 2)
+
+
+def test_fixed_scheduler_replays_tape():
+    s = FixedScheduler([1, 0])
+    assert s.pick_thread([10, 20]) == 20  # option 1
+    assert s.pick_thread([10, 20]) == 10  # option 0
+    assert s.pick_thread([10, 20]) == 10  # tape exhausted -> option 0
+    assert [p.chosen for p in s.trace] == [1, 0, 0]
+    assert all(p.n_options == 2 for p in s.trace)
+
+
+def test_fixed_scheduler_clamps_choice():
+    s = FixedScheduler([7])
+    assert s.pick_thread([5]) == 5
+
+
+def test_fixed_loop_default_exits():
+    s = FixedScheduler([])
+    assert s.loop_decision((0, 0), 0) is False  # option 0 = exit
+
+
+RACY = """program p
+x = 0
+parallel sections
+  section A
+    x = 1
+  section B
+    x = 2
+end parallel sections
+end"""
+
+
+def test_exhaustive_explorer_finds_both_outcomes():
+    prog = parse_program(RACY)
+    outcomes = set()
+
+    def once(scheduler):
+        outcomes.add(run_program(prog, scheduler).value("x"))
+
+    list(ExhaustiveExplorer(max_runs=200).schedules(once))
+    assert outcomes == {1, 2}
+
+
+def test_exhaustive_explorer_covers_branch_inputs():
+    prog = parse_program("program p\nif q < 1 then\nx = 1\nelse\nx = 2\nendif\nend")
+    outcomes = set()
+
+    def once(scheduler):
+        outcomes.add(run_program(prog, scheduler).value("x"))
+
+    list(ExhaustiveExplorer(max_runs=50).schedules(once))
+    assert outcomes == {1, 2}
+
+
+def test_exhaustive_explorer_respects_max_runs():
+    prog = parse_program(RACY)
+    count = 0
+
+    def once(scheduler):
+        nonlocal count
+        count += 1
+        run_program(prog, scheduler)
+
+    list(ExhaustiveExplorer(max_runs=3).schedules(once))
+    assert count == 3
+
+
+def test_exhaustive_explorer_enumerates_loop_iterations():
+    prog = parse_program("program p\nx = 0\nloop\nx = x + 1\nendloop\nend")
+    outcomes = set()
+
+    def once(scheduler):
+        outcomes.add(run_program(prog, scheduler).value("x"))
+
+    list(ExhaustiveExplorer(max_loop_iters=2, max_runs=50).schedules(once))
+    assert outcomes == {0, 1, 2}

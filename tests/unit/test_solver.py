@@ -1,0 +1,128 @@
+"""Fixpoint solver tests on a miniature hand-rolled equation system."""
+
+import pytest
+
+from repro.dataflow.framework import EquationSystem, FixpointDiverged, SolveStats
+from repro.dataflow.solver import make_order, solve_round_robin, solve_worklist
+from repro.paper import programs
+
+
+class ChainReach(EquationSystem):
+    """Trivial reachability along a chain 0 -> 1 -> ... -> n-1: value[i] =
+    value[i-1] + 1 capped at i; fixpoint value[i] == i + 1 sets sizes."""
+
+    def __init__(self, n):
+        self.n = n
+        self.vals = {}
+
+    def nodes(self):
+        return list(range(self.n))
+
+    def initialize(self):
+        self.vals = {i: frozenset() for i in range(self.n)}
+
+    def update(self, i):
+        new = frozenset({i}) | (self.vals[i - 1] if i > 0 else frozenset())
+        changed = new != self.vals[i]
+        self.vals[i] = new
+        return changed
+
+    def dependents(self, i):
+        return [i + 1] if i + 1 < self.n else []
+
+    def snapshot(self):
+        return dict(self.vals)
+
+
+def test_round_robin_forward_order_one_changing_pass():
+    system = ChainReach(10)
+    stats = solve_round_robin(system, order=list(range(10)))
+    assert stats.converged
+    assert stats.changing_passes == 1
+    assert stats.passes == 2
+    assert system.vals[9] == frozenset(range(10))
+
+
+def test_round_robin_reverse_order_needs_n_passes():
+    system = ChainReach(10)
+    stats = solve_round_robin(system, order=list(reversed(range(10))))
+    assert stats.converged
+    assert stats.changing_passes == 10  # one fact propagates per pass
+
+
+def test_worklist_converges_same_fixpoint():
+    forward = ChainReach(10)
+    solve_round_robin(forward, order=list(range(10)))
+    wl = ChainReach(10)
+    stats = solve_worklist(wl, order=list(reversed(range(10))))
+    assert stats.converged
+    assert wl.vals == forward.vals
+
+
+def test_worklist_counts_updates_not_passes():
+    system = ChainReach(5)
+    stats = solve_worklist(system)
+    assert stats.passes == 0
+    assert stats.node_updates >= 5
+
+
+def test_snapshots_recorded_per_pass():
+    system = ChainReach(4)
+    stats = solve_round_robin(system, order=list(range(4)), snapshot_passes=True)
+    assert len(stats.snapshots) == stats.passes
+    assert stats.snapshots[-1] == system.vals
+
+
+class Oscillator(EquationSystem):
+    """Non-monotone system with no fixpoint: value flips every update."""
+
+    def nodes(self):
+        return [0]
+
+    def initialize(self):
+        self.val = False
+
+    def update(self, _):
+        self.val = not self.val
+        return True
+
+    def dependents(self, _):
+        return [0]
+
+
+def test_round_robin_diverges_cleanly():
+    with pytest.raises(FixpointDiverged) as err:
+        solve_round_robin(Oscillator(), max_passes=17)
+    assert err.value.stats.passes == 17
+
+
+def test_worklist_diverges_cleanly():
+    with pytest.raises(FixpointDiverged):
+        solve_worklist(Oscillator(), max_updates=50)
+
+
+def test_make_order_variants(fig3_graph):
+    names = set(fig3_graph.names())
+    for order in ("document", "rpo", "reverse-document", "random:7"):
+        nodes = make_order(fig3_graph, order)
+        assert {n.name for n in nodes} == names
+    assert make_order(fig3_graph, "rpo")[0] is fig3_graph.entry
+
+
+def test_make_order_random_seed_deterministic(fig3_graph):
+    a = make_order(fig3_graph, "random:3")
+    b = make_order(fig3_graph, "random:3")
+    c = make_order(fig3_graph, "random:4")
+    assert a == b
+    assert a != c
+
+
+def test_make_order_unknown_rejected(fig3_graph):
+    with pytest.raises(ValueError):
+        make_order(fig3_graph, "zigzag")
+
+
+def test_stats_as_dict():
+    stats = SolveStats(order="rpo", passes=3, changing_passes=2, converged=True)
+    d = stats.as_dict()
+    assert d["order"] == "rpo" and d["passes"] == 3 and d["converged"]

@@ -1,0 +1,60 @@
+"""Symbol table and event well-formedness tests."""
+
+import pytest
+
+from repro.ir.symbols import build_symbol_table, check_events
+from repro.lang import parse_program
+from repro.lang.errors import SemanticError
+
+
+def test_variables_and_events_separated():
+    prog = parse_program("program p\nevent e\nx = 1\ny = x\npost(e)\nend")
+    table = build_symbol_table(prog)
+    assert table.variables == ("x", "y")
+    assert table.events == ("e",)
+    assert table.is_event("e") and not table.is_event("x")
+
+
+def test_free_variables_detected():
+    prog = parse_program("program p\nif cond then\nx = input + 1\nendif\nend")
+    table = build_symbol_table(prog)
+    assert set(table.free_variables) == {"cond", "input"}
+
+
+def test_assigned_variable_not_free():
+    prog = parse_program("program p\nx = 1\ny = x\nend")
+    assert build_symbol_table(prog).free_variables == ()
+
+
+def test_wait_on_undeclared_event_rejected():
+    with pytest.raises(SemanticError, match="undeclared event"):
+        check_events(parse_program("program p\nwait(e)\nend"))
+
+
+def test_post_on_undeclared_event_rejected():
+    with pytest.raises(SemanticError, match="undeclared event"):
+        check_events(parse_program("program p\npost(e)\nend"))
+
+
+def test_clear_on_undeclared_event_rejected():
+    with pytest.raises(SemanticError, match="undeclared event"):
+        check_events(parse_program("program p\nclear(e)\nend"))
+
+
+def test_event_cannot_be_assigned():
+    with pytest.raises(SemanticError, match="cannot be assigned"):
+        check_events(parse_program("program p\nevent e\ne = 1\nend"))
+
+
+def test_event_cannot_be_read_in_expr():
+    with pytest.raises(SemanticError, match="cannot be read"):
+        check_events(parse_program("program p\nevent e\nx = e + 1\nend"))
+
+
+def test_event_cannot_be_read_in_condition():
+    with pytest.raises(SemanticError, match="cannot be read"):
+        check_events(parse_program("program p\nevent e\nif e < 1 then\nx = 1\nendif\nend"))
+
+
+def test_valid_program_passes():
+    check_events(parse_program("program p\nevent e\npost(e)\nwait(e)\nclear(e)\nend"))

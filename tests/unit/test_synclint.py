@@ -1,0 +1,152 @@
+"""Synchronization-lint tests."""
+
+from repro.analysis.synclint import (
+    SyncIssueKind,
+    is_synchronization_correct,
+    lint_synchronization,
+)
+from repro.lang import parse_program
+from repro.paper import programs
+from repro.pfg import build_pfg
+
+
+def lint(src):
+    return lint_synchronization(build_pfg(parse_program(src)))
+
+
+def kinds(issues):
+    return {i.kind for i in issues}
+
+
+def test_clean_program_no_issues():
+    src = """program p
+event e
+parallel sections
+  section A
+    post(e)
+  section B
+    wait(e)
+end parallel sections
+end"""
+    assert lint(src) == []
+    assert is_synchronization_correct(build_pfg(parse_program(src)))
+
+
+def test_wait_without_post():
+    src = """program p
+event e
+parallel sections
+  section A
+    x = 1
+  section B
+    wait(e)
+end parallel sections
+end"""
+    issues = lint(src)
+    assert kinds(issues) == {SyncIssueKind.WAIT_WITHOUT_POST}
+    assert issues[0].event == "e"
+
+
+def test_post_without_wait_informational():
+    src = "program p\nevent e\npost(e)\nend"
+    assert kinds(lint(src)) == {SyncIssueKind.POST_WITHOUT_WAIT}
+    # informational only: still "correct"
+    assert is_synchronization_correct(build_pfg(parse_program(src)))
+
+
+def test_post_strictly_after_wait_deadlocks():
+    src = """program p
+event e
+wait(e)
+post(e)
+end"""
+    assert kinds(lint(src)) == {SyncIssueKind.WAIT_ONLY_ORDERED_AFTER}
+
+
+def test_post_in_earlier_block_ok():
+    src = "program p\nevent e\npost(e)\nwait(e)\nend"
+    assert lint(src) == []
+
+
+def test_paper_fig3_flags_stale_event():
+    graph = programs.graph("fig3")
+    issues = lint_synchronization(graph)
+    assert kinds(issues) == {SyncIssueKind.STALE_EVENT}
+    (issue,) = issues
+    assert issue.event == "ev" and issue.node.name == "8"
+    assert not is_synchronization_correct(graph)
+
+
+def test_cleared_fig3_is_clean():
+    graph = programs.graph("fig3c")
+    assert lint_synchronization(graph) == []
+    assert is_synchronization_correct(graph)
+
+
+def test_clear_outside_loop_does_not_help():
+    src = """program p
+event e
+clear(e)
+loop
+  parallel sections
+    section A
+      post(e)
+    section B
+      wait(e)
+  end parallel sections
+endloop
+end"""
+    assert kinds(lint(src)) == {SyncIssueKind.STALE_EVENT}
+
+
+def test_wait_not_in_loop_needs_no_clear():
+    src = """program p
+event e
+parallel sections
+  section A
+    post(e)
+  section B
+    wait(e)
+end parallel sections
+end"""
+    assert lint(src) == []
+
+
+def test_nested_loops_require_clear_in_innermost():
+    src = """program p
+event e
+loop
+  clear(e)
+  loop
+    parallel sections
+      section A
+        post(e)
+      section B
+        wait(e)
+    end parallel sections
+  endloop
+endloop
+end"""
+    # cleared in the outer loop but not the inner one: still stale.
+    assert SyncIssueKind.STALE_EVENT in kinds(lint(src))
+
+
+def test_format_names_event_and_block():
+    graph = programs.graph("fig3")
+    (issue,) = lint_synchronization(graph)
+    text = issue.format()
+    assert "'ev'" in text and "(8)" in text and "Figure 3" in text
+
+
+def test_generator_programs_are_lint_clean():
+    from repro.synthetic import GeneratorConfig, generate_program
+
+    blocking = {
+        SyncIssueKind.WAIT_WITHOUT_POST,
+        SyncIssueKind.WAIT_ONLY_ORDERED_AFTER,
+        SyncIssueKind.STALE_EVENT,
+    }
+    for seed in range(25):
+        prog = generate_program(seed, GeneratorConfig(target_stmts=30, p_parallel=0.4, p_sync=0.8))
+        issues = lint_synchronization(build_pfg(prog))
+        assert not [i for i in issues if i.kind in blocking], (seed, [i.format() for i in issues])

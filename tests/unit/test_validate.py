@@ -1,0 +1,118 @@
+"""Structural validation tests."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.paper import programs
+from repro.pfg import (
+    EdgeKind,
+    NodeKind,
+    ParallelFlowGraph,
+    PFGInvariantError,
+    build_pfg,
+    validate_pfg,
+)
+
+
+def test_all_paper_graphs_valid():
+    for key in programs.SOURCES:
+        validate_pfg(programs.graph(key))
+
+
+def _tiny_valid_graph():
+    g = ParallelFlowGraph("t")
+    entry = g.new_node(NodeKind.ENTRY)
+    exit_ = g.new_node(NodeKind.EXIT)
+    g.add_edge(entry, exit_, EdgeKind.SEQ)
+    g.entry, g.exit = entry, exit_
+    for n in g.nodes:
+        g.register_name(n)
+    g.finalize_defs()
+    return g
+
+
+def test_tiny_graph_valid():
+    validate_pfg(_tiny_valid_graph())
+
+
+def test_missing_entry_detected():
+    g = _tiny_valid_graph()
+    g.entry = None
+    with pytest.raises(PFGInvariantError, match="no entry"):
+        validate_pfg(g)
+
+
+def test_unreachable_node_detected():
+    g = _tiny_valid_graph()
+    orphan = g.new_node(NodeKind.BASIC)
+    g.register_name(orphan)
+    with pytest.raises(PFGInvariantError, match="unreachable"):
+        validate_pfg(g)
+
+
+def test_fork_without_join_detected():
+    g = _tiny_valid_graph()
+    fork = g.new_node(NodeKind.FORK)
+    fork.construct_id = 0
+    g.register_name(fork)
+    g.add_edge(g.entry, fork, EdgeKind.SEQ)
+    g.add_edge(fork, g.nodes[1], EdgeKind.PAR)
+    with pytest.raises(PFGInvariantError, match="without matching join"):
+        validate_pfg(g)
+
+
+def test_sync_edge_from_non_post_detected():
+    g = _tiny_valid_graph()
+    g.nodes[1].kind = NodeKind.BASIC  # make Exit a basic node to allow edge
+    g.nodes[1].wait_event = "e"
+    g.add_edge(g.entry, g.nodes[1], EdgeKind.SYNC)
+    with pytest.raises(PFGInvariantError, match="SYNC edge from a non-post"):
+        validate_pfg(g)
+
+
+def test_sync_edge_event_mismatch_detected():
+    g = ParallelFlowGraph("t")
+    entry = g.new_node(NodeKind.ENTRY)
+    a = g.new_node(NodeKind.BASIC)
+    b = g.new_node(NodeKind.BASIC)
+    exit_ = g.new_node(NodeKind.EXIT)
+    a.post_event = "e1"
+    b.wait_event = "e2"
+    g.add_edge(entry, a, EdgeKind.SEQ)
+    g.add_edge(a, b, EdgeKind.SEQ)
+    g.add_edge(a, b, EdgeKind.SYNC)
+    g.add_edge(b, exit_, EdgeKind.SEQ)
+    g.entry, g.exit = entry, exit_
+    for n in g.nodes:
+        g.register_name(n)
+    g.finalize_defs()
+    with pytest.raises(PFGInvariantError, match="different events"):
+        validate_pfg(g)
+
+
+def test_par_edge_placement_checked():
+    g = _tiny_valid_graph()
+    mid = g.new_node(NodeKind.BASIC)
+    g.register_name(mid)
+    g.add_edge(g.entry, mid, EdgeKind.PAR)  # entry is not a fork
+    g.add_edge(mid, g.nodes[1], EdgeKind.SEQ)
+    with pytest.raises(PFGInvariantError, match="PAR edge not at a fork"):
+        validate_pfg(g)
+
+
+def test_def_table_consistency_checked():
+    g = build_pfg(parse_program("program p\nx = 1\nend"))
+    g.entry.defs[0] = type(g.entry.defs[0])(index=0, var="x", site="WRONG")
+    with pytest.raises(PFGInvariantError, match="recorded in block"):
+        validate_pfg(g)
+
+
+def test_all_violations_reported_together():
+    g = _tiny_valid_graph()
+    g.entry.post_event = "e"
+    g.entry.cond = ast.IntLit(1)
+    orphan = g.new_node(NodeKind.BASIC)
+    g.register_name(orphan)
+    with pytest.raises(PFGInvariantError) as err:
+        validate_pfg(g)
+    assert len(err.value.violations) >= 2

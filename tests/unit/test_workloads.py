@@ -1,0 +1,121 @@
+"""Workload family tests: shapes, analyzability, expected precision."""
+
+import pytest
+
+from repro import analyze, build_pfg, validate_pfg
+from repro.analysis import races
+from repro.interp import RandomScheduler, run_program
+from repro.synthetic import (
+    WORKLOADS,
+    chain,
+    diamond_chain,
+    fig3_repeated,
+    loop_nest,
+    nested_parallel,
+    sync_pipeline,
+    wide_parallel,
+)
+
+
+def test_chain_sizes():
+    g = build_pfg(chain(50))
+    validate_pfg(g)
+    assert len(g.defs) == 50
+
+
+def test_diamond_chain_structure():
+    g = build_pfg(diamond_chain(8))
+    validate_pfg(g)
+    branches = [n for n in g.nodes if n.cond is not None]
+    assert len(branches) == 8
+
+
+def test_wide_parallel_sections():
+    g = build_pfg(wide_parallel(6, 4))
+    validate_pfg(g)
+    assert len(g.succs(g.forks[0])) == 6
+
+
+def test_nested_parallel_depth():
+    g = build_pfg(nested_parallel(5))
+    validate_pfg(g)
+    assert len(g.forks) == 5
+
+
+def test_loop_nest_back_edges():
+    g = build_pfg(loop_nest(3))
+    validate_pfg(g)
+    assert len(g.back_edges()) == 3
+
+
+def test_pipeline_is_race_free_with_preserved():
+    prog = sync_pipeline(4)
+    result = analyze(prog)
+    assert races(result) == []
+
+
+def test_pipeline_without_preserved_looks_racy():
+    prog = sync_pipeline(4)
+    result = analyze(prog, preserved="none")
+    assert len(races(result)) > 0
+
+
+def test_pipeline_executes_correctly():
+    prog = sync_pipeline(5)
+    for seed in range(5):
+        run = run_program(prog, RandomScheduler(seed=seed))
+        assert not run.deadlocked
+        assert run.value("out") == 6  # x=1, then +1 per stage, 5 stages
+
+
+def test_pipeline_join_sees_only_last_stage():
+    result = analyze(sync_pipeline(4))
+    join = result.graph.joins[0]
+    x_defs = {d.name for d in result.reaching(join, "x")}
+    assert len(x_defs) == 1  # only stage3's definition survives
+
+
+def test_fig3_repeated_scales():
+    prog = fig3_repeated(3)
+    g = build_pfg(prog)
+    validate_pfg(g)
+    assert len(g.forks) == 6  # two constructs per copy
+    result = analyze(prog)
+    assert result.stats.converged
+
+
+def test_registry_complete():
+    assert set(WORKLOADS) == {
+        "chain", "diamond", "wide", "nested", "loopnest", "pipeline", "fig3x",
+        "pardo", "mix",
+    }
+
+
+@pytest.mark.parametrize("name,args", [
+    ("chain", (10,)),
+    ("diamond", (4,)),
+    ("wide", (3, 3)),
+    ("nested", (3,)),
+    ("loopnest", (2,)),
+    ("pipeline", (3,)),
+    ("fig3x", (1,)),
+    ("mix", (0, 20)),
+])
+def test_all_workloads_analyzable(name, args):
+    prog = WORKLOADS[name](*args)
+    result = analyze(prog)
+    assert result.stats.converged
+
+
+def test_pardo_grid_structure():
+    from repro.synthetic import pardo_grid
+
+    prog = pardo_grid(3, 2)
+    g = build_pfg(prog)
+    validate_pfg(g)
+    assert len(g.pardos) == 3
+    result = analyze(prog)
+    assert result.stats.converged
+    # 'seed' is written in every construct: cross-iteration race per merge.
+    cross = [a for a in races(result) if a.var == "seed"]
+    assert len(cross) == 3
