@@ -18,6 +18,7 @@ Quickstart::
 
 from __future__ import annotations
 
+from . import obs
 from .cfg import build_cfg, is_sequential
 from .cssa import build_cssa, render_cssa
 from .driver import OptimizationReport, optimize
@@ -73,6 +74,7 @@ def analyze(
 __all__ = [
     "__version__",
     "analyze",
+    "obs",
     "optimize",
     "OptimizationReport",
     "ast",

@@ -27,11 +27,12 @@ three produce identical fixpoints.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Generic, Iterable, List, Sequence, TypeVar
+from typing import FrozenSet, Generic, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from ..ir.defs import Definition
+from ..obs import bitset_counting_enabled, get_metrics
 
 S = TypeVar("S")
 
@@ -210,16 +211,87 @@ class NumpyBitsetBackend(SetBackend[np.ndarray]):
         return int(np.unpackbits(s.view(np.uint8)).sum())
 
 
+class CountingBackend(SetBackend):
+    """Delegating proxy that counts set operations into the current
+    :mod:`repro.obs` metrics registry.
+
+    Counts two things per union/intersection/difference/equals call:
+    ``bitset.ops`` (one per operation) and ``bitset.word_ops`` (operations
+    weighted by the 64-bit word width of the universe — the paper-era cost
+    model for bit-vector data flow, comparable across backends).
+
+    Counting is accurate but not free, so it is **opt-in**: plain
+    ``make_backend`` never wraps unless an observability session was
+    installed with ``count_bitset_ops=True`` (or the caller forces
+    ``count_ops=True``).  When disabled, code paths get the raw backend —
+    literally zero overhead.
+    """
+
+    def __init__(self, inner: SetBackend):
+        self.inner = inner
+        self.universe = inner.universe
+        self.name = inner.name  # transparent: results report the real backend
+        self._words = max(1, (len(inner.universe) + 63) // 64)
+        metrics = get_metrics()
+        self._ops = metrics.counter("bitset.ops")
+        self._word_ops = metrics.counter("bitset.word_ops")
+
+    def _count(self) -> None:
+        self._ops.inc()
+        self._word_ops.inc(self._words)
+
+    def empty(self):
+        return self.inner.empty()
+
+    def from_defs(self, defs):
+        return self.inner.from_defs(defs)
+
+    def union(self, a, b):
+        self._count()
+        return self.inner.union(a, b)
+
+    def intersection(self, a, b):
+        self._count()
+        return self.inner.intersection(a, b)
+
+    def difference(self, a, b):
+        self._count()
+        return self.inner.difference(a, b)
+
+    def equals(self, a, b) -> bool:
+        self._count()
+        return self.inner.equals(a, b)
+
+    def to_frozenset(self, s):
+        return self.inner.to_frozenset(s)
+
+    def size(self, s) -> int:
+        return self.inner.size(s)
+
+
 #: Registry used by user-facing ``backend=`` parameters.
 BACKENDS = {
     cls.name: cls for cls in (FrozensetBackend, IntBitsetBackend, NumpyBitsetBackend)
 }
 
 
-def make_backend(name: str, universe: Sequence[Definition]) -> SetBackend:
-    """Instantiate a backend by name (``"set"``, ``"bitset"``, ``"numpy"``)."""
+def make_backend(
+    name: str,
+    universe: Sequence[Definition],
+    count_ops: Optional[bool] = None,
+) -> SetBackend:
+    """Instantiate a backend by name (``"set"``, ``"bitset"``, ``"numpy"``).
+
+    ``count_ops`` wraps the backend in :class:`CountingBackend`; the
+    default (``None``) defers to the ambient observability session
+    (``repro.obs.session(count_bitset_ops=True)``), so analyses need no
+    plumbing to opt in.
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
         raise ValueError(f"unknown set backend {name!r}; choose from {sorted(BACKENDS)}") from None
-    return cls(universe)
+    backend = cls(universe)
+    if count_ops if count_ops is not None else bitset_counting_enabled():
+        backend = CountingBackend(backend)
+    return backend

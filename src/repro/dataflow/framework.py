@@ -58,6 +58,17 @@ class SolveStats:
     iteration" for Figure 8 is ``changing_passes == 1, passes == 2``;
     "fixpoint reached in the third iteration" for Figures 11/12 is
     ``changing_passes == 2, passes == 3``.
+
+    ``snapshots`` (filled only under ``snapshot_passes=True``) holds one
+    full copy of every node variable per sweep — memory is
+    O(passes × nodes × set size), which is why the round-robin solver
+    caps it (``max_snapshots``) instead of letting a long run exhaust
+    memory.
+
+    ``span`` is the tracer :class:`repro.obs.Span` that timed this solve
+    when an observability session was installed (``None`` otherwise); it
+    carries wall time and the per-pass child spans.  It is deliberately
+    excluded from :meth:`as_dict`, which stays a flat, JSON-ready record.
     """
 
     order: str = ""
@@ -67,6 +78,7 @@ class SolveStats:
     changed_updates: int = 0
     converged: bool = False
     snapshots: List[object] = field(default_factory=list)
+    span: Optional[object] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {

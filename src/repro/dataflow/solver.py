@@ -18,6 +18,14 @@ Orderings (``make_order``): ``document`` (creation order), ``rpo``
 (reverse postorder over control edges — the "depth first traversal" the
 paper cites as converging in ~5 passes), ``reverse-document`` (pessimal for
 forward problems, for the ordering benchmark) and ``random:<seed>``.
+
+Observability: every solver reports to the process-current tracer and
+metrics registry (:mod:`repro.obs`) — a ``solve`` span wrapping the run,
+one ``pass`` span per sweep, ``solve.*`` counters including per-order
+totals (``solve.<order>.passes``), and a worklist-length histogram for
+``solve_worklist``.  Disabled by default: with no session installed the
+instruments are no-op singletons and per-node work carries no
+instrumentation at all (only per-pass no-op calls remain).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import random
 from collections import deque
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from ..obs import get_metrics, get_tracer
 from ..pfg.graph import ParallelFlowGraph
 from ..pfg.node import PFGNode
 from .framework import EquationSystem, FixpointDiverged, SolveStats
@@ -36,23 +45,50 @@ N = TypeVar("N")
 #: O(nodes × lattice height) passes; anything past this is a bug.
 DEFAULT_MAX_PASSES = 10_000
 
+#: Default cap on per-pass snapshots (see ``solve_round_robin``).
+DEFAULT_MAX_SNAPSHOTS = 1_000
+
 
 def make_order(graph: ParallelFlowGraph, order: str) -> List[PFGNode]:
-    """Resolve an ordering name to a concrete node list."""
+    """Resolve an ordering name to a concrete node list.
+
+    Always returns a fresh list the caller may mutate; in particular
+    ``random:<seed>`` shuffles a private copy, never the list
+    ``graph.document_order()`` handed out (two orderings drawn with
+    different seeds must not contaminate each other or the graph).
+    """
     if order == "document":
-        return graph.document_order()
+        return list(graph.document_order())
     if order == "rpo":
-        return graph.reverse_postorder()
+        return list(graph.reverse_postorder())
     if order == "reverse-document":
         return list(reversed(graph.document_order()))
     if order.startswith("random"):
         seed = int(order.split(":", 1)[1]) if ":" in order else 0
-        nodes = graph.document_order()
+        nodes = list(graph.document_order())
         random.Random(seed).shuffle(nodes)
         return nodes
     raise ValueError(
         f"unknown order {order!r}; choose document, rpo, reverse-document or random[:seed]"
     )
+
+
+def _record_solver_metrics(solver: str, order_name: str, stats: SolveStats) -> None:
+    """Post-hoc metric totals (one call per solve, nothing per node)."""
+    m = get_metrics()
+    if not m.enabled:
+        return
+    m.inc("solve.runs")
+    m.inc("solve.passes", stats.passes)
+    m.inc("solve.node_updates", stats.node_updates)
+    m.inc("solve.changed_updates", stats.changed_updates)
+    # Per-order totals let the ordering ablations read straight off the
+    # registry (the base order name, without solver-mode prefixes).
+    base = order_name.split("/")[-1]
+    m.inc(f"solve.{base}.runs")
+    m.inc(f"solve.{base}.passes", stats.passes)
+    m.inc(f"solve.{base}.node_updates", stats.node_updates)
+    m.inc(f"solve.{solver}.runs")
 
 
 def solve_round_robin(
@@ -61,26 +97,51 @@ def solve_round_robin(
     order_name: str = "document",
     max_passes: int = DEFAULT_MAX_PASSES,
     snapshot_passes: bool = False,
+    max_snapshots: int = DEFAULT_MAX_SNAPSHOTS,
 ) -> SolveStats:
-    """Iterate full sweeps until fixpoint; returns iteration statistics."""
+    """Iterate full sweeps until fixpoint; returns iteration statistics.
+
+    ``snapshot_passes`` stores ``system.snapshot()`` after **every** sweep
+    in ``stats.snapshots`` — each snapshot is a full copy of all node
+    variables, so memory grows as O(passes × nodes × set size).  The
+    ``max_snapshots`` cap (default ``DEFAULT_MAX_SNAPSHOTS``) turns a
+    runaway recording into a clear error instead of memory exhaustion;
+    raise it explicitly for long golden traces.
+    """
     nodes = list(order) if order is not None else list(system.nodes())
+    tracer = get_tracer()
     system.initialize()
     stats = SolveStats(order=order_name)
-    while stats.passes < max_passes:
-        stats.passes += 1
-        changed = False
-        for node in nodes:
-            stats.node_updates += 1
-            if system.update(node):
-                stats.changed_updates += 1
-                changed = True
-        if snapshot_passes:
-            stats.snapshots.append(system.snapshot())
-        if changed:
-            stats.changing_passes += 1
-        else:
-            stats.converged = True
-            return stats
+    with tracer.span("solve", solver="round-robin", order=order_name) as span:
+        if tracer.enabled:
+            stats.span = span
+        while stats.passes < max_passes:
+            stats.passes += 1
+            changed = False
+            before = stats.changed_updates
+            with tracer.span("pass", index=stats.passes) as pass_span:
+                for node in nodes:
+                    stats.node_updates += 1
+                    if system.update(node):
+                        stats.changed_updates += 1
+                        changed = True
+                pass_span.annotate(changed_updates=stats.changed_updates - before)
+            if snapshot_passes:
+                if len(stats.snapshots) >= max_snapshots:
+                    raise RuntimeError(
+                        f"snapshot_passes exceeded max_snapshots={max_snapshots}: "
+                        f"each snapshot copies every node variable; raise "
+                        f"max_snapshots only if you can afford the memory"
+                    )
+                stats.snapshots.append(system.snapshot())
+            if changed:
+                stats.changing_passes += 1
+            else:
+                stats.converged = True
+                span.annotate(**stats.as_dict())
+                _record_solver_metrics("round-robin", order_name, stats)
+                return stats
+        span.annotate(**stats.as_dict())
     raise FixpointDiverged(stats)
 
 
@@ -92,26 +153,39 @@ def solve_worklist(
 ) -> SolveStats:
     """Worklist iteration seeded with all nodes (in ``order``)."""
     nodes = list(order) if order is not None else list(system.nodes())
+    tracer = get_tracer()
+    metrics = get_metrics()
+    observing = metrics.enabled
+    if observing:
+        queue_hist = metrics.histogram("solve.worklist.len")
     system.initialize()
     stats = SolveStats(order=order_name)
     budget = max_updates if max_updates is not None else DEFAULT_MAX_PASSES * max(1, len(nodes))
     queue = deque(nodes)
     queued = set(nodes)
-    while queue:
-        node = queue.popleft()
-        queued.discard(node)
-        stats.node_updates += 1
-        if stats.node_updates > budget:
-            raise FixpointDiverged(stats)
-        if system.update(node):
-            stats.changed_updates += 1
-            for dep in system.dependents(node):
-                if dep not in queued:
-                    queued.add(dep)
-                    queue.append(dep)
-    # A worklist run has no notion of sweeps; report update counts only.
-    stats.converged = True
-    stats.passes = 0
+    with tracer.span("solve", solver="worklist", order=order_name) as span:
+        if tracer.enabled:
+            stats.span = span
+        while queue:
+            if observing:
+                queue_hist.observe(len(queue))
+            node = queue.popleft()
+            queued.discard(node)
+            stats.node_updates += 1
+            if stats.node_updates > budget:
+                span.annotate(**stats.as_dict())
+                raise FixpointDiverged(stats)
+            if system.update(node):
+                stats.changed_updates += 1
+                for dep in system.dependents(node):
+                    if dep not in queued:
+                        queued.add(dep)
+                        queue.append(dep)
+        # A worklist run has no notion of sweeps; report update counts only.
+        stats.converged = True
+        stats.passes = 0
+        span.annotate(**stats.as_dict())
+    _record_solver_metrics("worklist", order_name, stats)
     return stats
 
 
@@ -163,50 +237,67 @@ def solve_stabilized(
     ``kill_state``/``set_kill_state``/``meet_values``.
     """
     nodes = list(order) if order is not None else list(system.nodes())
+    tracer = get_tracer()
     system.initialize()
     stats = SolveStats(order=f"stabilized/{order_name}")
 
-    def sweep_to_fixpoint(update) -> None:
-        while True:
-            stats.passes += 1
-            if stats.passes > max_passes:
-                raise FixpointDiverged(stats)
-            changed = False
-            for node in nodes:
-                stats.node_updates += 1
-                if update(node):
-                    stats.changed_updates += 1
-                    changed = True
-            if changed:
-                stats.changing_passes += 1
-            else:
-                return
+    def sweep_to_fixpoint(update, kind: str) -> None:
+        with tracer.span("phase", kind=kind) as phase_span:
+            phase_passes = 0
+            while True:
+                stats.passes += 1
+                phase_passes += 1
+                if stats.passes > max_passes:
+                    raise FixpointDiverged(stats)
+                changed = False
+                before = stats.changed_updates
+                with tracer.span("pass", index=stats.passes, kind=kind) as pass_span:
+                    for node in nodes:
+                        stats.node_updates += 1
+                        if update(node):
+                            stats.changed_updates += 1
+                            changed = True
+                    pass_span.annotate(changed_updates=stats.changed_updates - before)
+                if changed:
+                    stats.changing_passes += 1
+                else:
+                    phase_span.annotate(passes=phase_passes)
+                    return
 
-    sweep_to_fixpoint(system.update_flow)
-    history: List[object] = [system.snapshot()]
-    kill_history: List[object] = [system.kill_state()]
-    for _round in range(max_rounds):
-        system.reset_kill()
-        sweep_to_fixpoint(system.update_kill)
-        system.reset_flow()
-        sweep_to_fixpoint(system.update_flow)
-        current = system.snapshot()
-        if current == history[-1]:
-            stats.converged = True
-            return stats
-        if current in history:
-            # Oscillation: meet the kill layers over the cycle, then one
-            # final flow phase under the (now conservative) frozen kills.
-            start = history.index(current)
-            cycle_kills = kill_history[start:] + [system.kill_state()]
-            system.set_kill_state(_meet_kill_states(system, cycle_kills))
-            system.reset_flow()
-            sweep_to_fixpoint(system.update_flow)
-            stats.order += "+cycle"
-            stats.converged = True
-            return stats
-        history.append(current)
-        kill_history.append(system.kill_state())
+    with tracer.span("solve", solver="stabilized", order=order_name) as span:
+        if tracer.enabled:
+            stats.span = span
+        sweep_to_fixpoint(system.update_flow, "flow")
+        history: List[object] = [system.snapshot()]
+        kill_history: List[object] = [system.kill_state()]
+        for round_index in range(max_rounds):
+            with tracer.span("round", index=round_index):
+                system.reset_kill()
+                sweep_to_fixpoint(system.update_kill, "kill")
+                system.reset_flow()
+                sweep_to_fixpoint(system.update_flow, "flow")
+            current = system.snapshot()
+            if current == history[-1]:
+                stats.converged = True
+                span.annotate(rounds=round_index + 1, **stats.as_dict())
+                _record_solver_metrics("stabilized", order_name, stats)
+                return stats
+            if current in history:
+                # Oscillation: meet the kill layers over the cycle, then one
+                # final flow phase under the (now conservative) frozen kills.
+                start = history.index(current)
+                cycle_kills = kill_history[start:] + [system.kill_state()]
+                system.set_kill_state(_meet_kill_states(system, cycle_kills))
+                system.reset_flow()
+                sweep_to_fixpoint(system.update_flow, "flow")
+                stats.order += "+cycle"
+                stats.converged = True
+                span.annotate(rounds=round_index + 1, cycle=True, **stats.as_dict())
+                _record_solver_metrics("stabilized", order_name, stats)
+                return stats
+            history.append(current)
+            kill_history.append(system.kill_state())
+        span.annotate(**stats.as_dict())
     raise FixpointDiverged(stats)
 
 

@@ -31,6 +31,7 @@ from .analysis import (
     propagate_constants,
 )
 from .lang import ast, parse_program
+from .obs import get_tracer
 from .reachdefs.result import ReachingDefsResult
 
 
@@ -49,6 +50,10 @@ class OptimizationReport:
     copies: List[CopyPropagation]
     subexpressions: List[CommonSubexpression]
     notes: List[str] = field(default_factory=list)
+    #: phase → wall seconds, filled only when an observability session is
+    #: installed around :func:`optimize` (empty otherwise, so rendered
+    #: output is unchanged for untraced runs).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate views ----------------------------------------------------
 
@@ -107,6 +112,13 @@ class OptimizationReport:
             lines.append(f"  cse           {c.format()}")
         if not any(self.opportunity_count().values()):
             lines.append("  none found")
+        if self.timings:
+            lines.append("")
+            lines.append("timings:")
+            total = sum(self.timings.values())
+            for phase, seconds in self.timings.items():
+                lines.append(f"  {seconds * 1e3:8.3f} ms  {phase}")
+            lines.append(f"  {total * 1e3:8.3f} ms  total")
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines) + "\n"
@@ -118,31 +130,54 @@ def optimize(
     preserved: str = "approx",
     observable_at_exit: bool = True,
 ) -> OptimizationReport:
-    """Run the full analysis pipeline on source text or a parsed program."""
+    """Run the full analysis pipeline on source text or a parsed program.
+
+    Each phase runs under a tracer span (``parse``, ``analyze`` — which
+    itself nests ``pfg-build`` and ``solve`` — and one ``client:<name>``
+    span per client analysis), so with an observability session installed
+    the report's ``timings`` maps every phase to wall seconds and a
+    ``--profile`` export contains the whole pipeline tree.
+    """
     from . import analyze  # deferred: repro/__init__ imports this module
 
-    program = parse_program(source) if isinstance(source, str) else source
-    result = analyze(program, backend=backend, preserved=preserved)
+    tracer = get_tracer()
+    with tracer.span("optimize") as pipeline:
+        program = parse_program(source) if isinstance(source, str) else source
+        with tracer.span("analyze", backend=backend, preserved=preserved):
+            result = analyze(program, backend=backend, preserved=preserved)
 
-    notes: List[str] = []
-    if not result.stats.converged:  # pragma: no cover - solvers raise instead
-        notes.append("solver did not converge")
-    if "+cycle" in result.stats.order:
-        notes.append(
-            "stabilized solver resolved an outer-round oscillation "
-            "conservatively (see DESIGN.md §5)"
+        notes: List[str] = []
+        if not result.stats.converged:  # pragma: no cover - solvers raise instead
+            notes.append("solver did not converge")
+        if "+cycle" in result.stats.order:
+            notes.append(
+                "stabilized solver resolved an outer-round oscillation "
+                "conservatively (see DESIGN.md §5)"
+            )
+
+        def client(name: str, fn, *args, **kwargs):
+            with tracer.span(f"client:{name}"):
+                return fn(*args, **kwargs)
+
+        report = OptimizationReport(
+            program=program,
+            result=result,
+            chains=client("ud-chains", compute_ud_chains, result),
+            anomalies=client("anomalies", find_anomalies, result),
+            sync_issues=client("sync-lint", lint_synchronization, result.graph),
+            constants=client("constprop", propagate_constants, result),
+            induction_variables=client("induction", find_induction_variables, result),
+            dead_code=client(
+                "deadcode", find_dead_code, result, observable_at_exit=observable_at_exit
+            ),
+            copies=client("copyprop", find_copy_propagations, result),
+            subexpressions=client("cse", find_common_subexpressions, result),
+            notes=notes,
         )
-
-    return OptimizationReport(
-        program=program,
-        result=result,
-        chains=compute_ud_chains(result),
-        anomalies=find_anomalies(result),
-        sync_issues=lint_synchronization(result.graph),
-        constants=propagate_constants(result),
-        induction_variables=find_induction_variables(result),
-        dead_code=find_dead_code(result, observable_at_exit=observable_at_exit),
-        copies=find_copy_propagations(result),
-        subexpressions=find_common_subexpressions(result),
-        notes=notes,
-    )
+    if tracer.enabled:
+        report.timings = {
+            child.name: child.duration
+            for child in pipeline.children
+            if child.duration is not None
+        }
+    return report

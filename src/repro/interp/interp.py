@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..lang import ast
+from ..obs import NULL_METRICS, get_metrics, get_tracer
 from ..pfg.builder import build_pfg
 from ..pfg.graph import ParallelFlowGraph
 from ..ir.defs import Use
@@ -92,6 +93,7 @@ class Interpreter:
                         "(statement identity links runtime events to blocks)"
                     ) from None
         self.events: Dict[str, EventState] = {e: EventState(e) for e in program.events}
+        self._metrics = NULL_METRICS  # rebound to the live registry by run()
         self.inputs: Dict[str, Value] = {}
         self.seq = 0
         self.result = RunResult(final_env={})
@@ -156,24 +158,65 @@ class Interpreter:
         return thread
 
     def run(self) -> RunResult:
-        root = self._spawn({}, self.program.body, fork=None)
-        steps = 0
-        while True:
-            alive = [t for t in self._threads.values() if t.status != "done"]
-            if not alive:
-                break
-            runnable = sorted(t.tid for t in alive if self._is_runnable(t))
-            if not runnable:
-                self.result.deadlocked = True
-                break
-            steps += 1
-            if steps > self.max_steps:
-                raise StepBudgetExceeded(f"exceeded {self.max_steps} steps")
-            thread = self._threads[self.scheduler.pick_thread(runnable)]
-            self._step(thread)
-        self.result.final_env = root.env
-        self.result.steps = steps
-        self.result.inputs = dict(self.inputs)
+        """Execute to completion (or deadlock).
+
+        Runs under an ``interp.run`` tracer span; when a metrics session
+        is installed it also records scheduling behaviour: ``interp.steps``,
+        ``interp.context_switches`` (consecutive steps taken by different
+        threads), and ``interp.blocked_thread_steps`` — the total number of
+        (step × blocked-thread) pairs, the cooperative-engine measure of
+        post/wait blocking time.  Without a session the per-step cost is a
+        single bool check.
+        """
+        tracer = get_tracer()
+        self._metrics = metrics = get_metrics()
+        observing = metrics.enabled
+        context_switches = 0
+        blocked_thread_steps = 0
+        last_tid: Optional[int] = None
+        with tracer.span(
+            "interp.run",
+            program=self.program.name,
+            scheduler=type(self.scheduler).__name__,
+        ) as span:
+            root = self._spawn({}, self.program.body, fork=None)
+            steps = 0
+            while True:
+                alive = [t for t in self._threads.values() if t.status != "done"]
+                if not alive:
+                    break
+                runnable = sorted(t.tid for t in alive if self._is_runnable(t))
+                if not runnable:
+                    self.result.deadlocked = True
+                    break
+                steps += 1
+                if steps > self.max_steps:
+                    raise StepBudgetExceeded(f"exceeded {self.max_steps} steps")
+                thread = self._threads[self.scheduler.pick_thread(runnable)]
+                if observing:
+                    if last_tid is not None and thread.tid != last_tid:
+                        context_switches += 1
+                    last_tid = thread.tid
+                    blocked_thread_steps += sum(1 for t in alive if t.status == "blocked")
+                self._step(thread)
+            self.result.final_env = root.env
+            self.result.steps = steps
+            self.result.inputs = dict(self.inputs)
+            if tracer.enabled:
+                span.annotate(
+                    steps=steps,
+                    threads=self._next_tid,
+                    deadlocked=self.result.deadlocked,
+                    context_switches=context_switches,
+                )
+        if observing:
+            metrics.inc("interp.runs")
+            metrics.inc("interp.steps", steps)
+            metrics.inc("interp.threads", self._next_tid)
+            metrics.inc("interp.context_switches", context_switches)
+            metrics.inc("interp.blocked_thread_steps", blocked_thread_steps)
+            if self.result.deadlocked:
+                metrics.inc("interp.deadlocks")
         return self.result
 
     def _is_runnable(self, t: _Thread) -> bool:
@@ -283,11 +326,15 @@ class Interpreter:
         elif isinstance(stmt, ast.Post):
             self.result.node_trace.append(self._post_names[id(stmt)])
             self.events[stmt.event].post(t.env)
+            self._metrics.inc("interp.posts")
         elif isinstance(stmt, ast.Clear):
             self.result.node_trace.append(self.index.of_stmt(stmt)[0])
             self.events[stmt.event].clear()
         elif isinstance(stmt, ast.Wait):
             event = self.events[stmt.event]
+            self._metrics.inc("interp.waits")
+            if not event.posted:
+                self._metrics.inc("interp.waits_blocked")
             while not event.posted:
                 yield ("blocked", stmt.event)
             conflicts = event.absorb_into(t.env)

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import get_metrics
 from .state import Value
 
 
@@ -28,6 +29,14 @@ class Scheduler:
     """Decision oracle for one run."""
 
     max_loop_iters: int = 3
+
+    def record_decision(self, kind: str) -> None:
+        """Count one decision of ``kind`` into the current metrics registry
+        (``interp.scheduler.<kind>``); no-op unless a session is installed.
+        Concrete schedulers call this at each decision point."""
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(f"interp.scheduler.{kind}")
 
     def pick_thread(self, runnable: Sequence[int]) -> int:
         raise NotImplementedError
@@ -55,6 +64,7 @@ class RoundRobinScheduler(Scheduler):
         self.input_value = input_value
 
     def pick_thread(self, runnable: Sequence[int]) -> int:
+        self.record_decision("thread_picks")
         return min(runnable)
 
     def free_value(self, var: str) -> Value:
@@ -76,6 +86,7 @@ class RandomScheduler(Scheduler):
         self.continue_prob = continue_prob
 
     def pick_thread(self, runnable: Sequence[int]) -> int:
+        self.record_decision("thread_picks")
         return self.rng.choice(list(runnable))
 
     def free_value(self, var: str) -> Value:
@@ -120,6 +131,7 @@ class FixedScheduler(Scheduler):
         choice = min(choice, n_options - 1)
         self.cursor += 1
         self.trace.append(_DecisionPoint(chosen=choice, n_options=n_options))
+        self.record_decision("tape_decisions")
         return choice
 
     def pick_thread(self, runnable: Sequence[int]) -> int:
@@ -177,6 +189,10 @@ class ExhaustiveExplorer:
             scheduler = FixedScheduler(tape, max_loop_iters=self.max_loop_iters)
             run_once(scheduler)
             runs += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("interp.explorer.runs")
+                metrics.set_gauge("interp.explorer.frontier", len(stack))
             yield scheduler
             # Generate sibling tapes: for each decision past the prescribed
             # prefix, branch to every untaken option.

@@ -395,8 +395,18 @@ class Parser:
 
 
 def parse_program(source: str) -> ast.Program:
-    """Parse complete source text into a :class:`~repro.lang.ast.Program`."""
-    return Parser(tokenize(source)).parse_program()
+    """Parse complete source text into a :class:`~repro.lang.ast.Program`.
+
+    Traced as a ``parse`` span (source size, program name) when an
+    observability session is installed — see :mod:`repro.obs`.
+    """
+    from ..obs import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("parse", chars=len(source)) as span:
+        program = Parser(tokenize(source)).parse_program()
+        span.annotate(program=program.name)
+    return program
 
 
 def parse_expression(source: str) -> ast.Expr:

@@ -1,0 +1,203 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Instruments in the solver/interpreter hot paths follow two rules so the
+disabled default costs (almost) nothing:
+
+* ask for the process-current registry once (``m = get_metrics()``) and
+  hoist per-iteration work behind ``m.enabled``;
+* prefer one post-hoc ``inc(name, total)`` over N live ``inc(name)``
+  calls when an existing counter (e.g. ``SolveStats``) already has the
+  total.
+
+Names are dotted paths (``solve.node_updates``, ``interp.steps``); the
+per-order solver metrics interpolate the order name
+(``solve.rpo.passes``).  :data:`NULL_METRICS` is the disabled singleton:
+every mutator is a no-op and every accessor returns shared inert
+instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-set value, with the observed maximum kept alongside."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.max: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max) — enough to answer "how
+    long were worklists" without storing samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Name → instrument registry; instruments are created on first use."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on demand) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- convenience mutators -------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Flat snapshot keyed by instrument kind, for summaries/tests."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: {"value": g.value, "max": g.max} for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: {"count": h.count, "total": h.total, "min": h.min, "max": h.max, "mean": h.mean}
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NullCounter(Counter):
+    def inc(self, n: int = 1) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics(Metrics):
+    """Disabled registry: mutators no-op, accessors hand out shared inert
+    instruments, nothing is ever recorded."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def inc(self, name: str, n: int = 1) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+NULL_METRICS = NullMetrics()
+
+_current: Metrics = NULL_METRICS
+
+
+def get_metrics() -> Metrics:
+    """The registry instrumented code should report to (never ``None``)."""
+    return _current
+
+
+def set_metrics(metrics: Optional[Metrics]) -> Metrics:
+    """Install ``metrics`` as process-current (``None`` restores the no-op);
+    returns the previously installed registry."""
+    global _current
+    previous = _current
+    _current = metrics if metrics is not None else NULL_METRICS
+    return previous

@@ -1,0 +1,223 @@
+"""Sinks: turn a tracer/metrics session into something consumable.
+
+Three consumers, one record schema (``repro-obs/1``):
+
+``records(tracer, metrics)``
+    The canonical flat form — a list of JSON-serialisable dicts.  First a
+    ``meta`` record, then one ``span`` record per completed span
+    (pre-order, with ``path`` and ``depth`` giving the tree back), then
+    one record per metric instrument.
+
+``write_jsonl`` / ``read_jsonl``
+    One record per line.  This is the schema the ``BENCH_*.json``
+    trajectory files use, so benchmark baselines and ``--profile`` output
+    are directly comparable.
+
+``render_tree``
+    Human-readable phase-time tree for terminal output (the ``stats``
+    CLI command and ``--trace``).
+
+``InMemorySink``
+    Test helper: captures records for assertions without touching disk.
+
+Span record fields: ``name`` (span name), ``path`` (slash-joined names
+from the root), ``depth``, ``start``/``dur`` (seconds, start relative to
+tracer creation), ``attrs``.  Open spans (no ``end`` yet) are skipped —
+records describe finished work only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .metrics import Metrics
+from .tracer import Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "records",
+    "span_records",
+    "metric_records",
+    "write_jsonl",
+    "read_jsonl",
+    "render_tree",
+    "InMemorySink",
+]
+
+SCHEMA = "repro-obs/1"
+
+Record = Dict[str, object]
+
+
+def span_records(tracer: Tracer) -> List[Record]:
+    """Flatten the tracer's span forest into ``span`` records."""
+    out: List[Record] = []
+
+    def visit(span: Span, path: str, depth: int) -> None:
+        span_path = f"{path}/{span.name}" if path else span.name
+        if span.end is not None:
+            out.append(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "path": span_path,
+                    "depth": depth,
+                    "start": round(span.start, 9),
+                    "dur": round(span.end - span.start, 9),
+                    "attrs": dict(span.attrs),
+                }
+            )
+        for child in span.children:
+            visit(child, span_path, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, "", 0)
+    return out
+
+
+def metric_records(metrics: Metrics) -> List[Record]:
+    out: List[Record] = []
+    for name, c in sorted(metrics.counters.items()):
+        out.append({"type": "counter", "name": name, "value": c.value})
+    for name, g in sorted(metrics.gauges.items()):
+        out.append({"type": "gauge", "name": name, "value": g.value, "max": g.max})
+    for name, h in sorted(metrics.histograms.items()):
+        out.append(
+            {
+                "type": "histogram",
+                "name": name,
+                "count": h.count,
+                "total": h.total,
+                "min": h.min,
+                "max": h.max,
+            }
+        )
+    return out
+
+
+def records(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> List[Record]:
+    """Full session export: meta record, spans, then metrics."""
+    head: Record = {"type": "meta", "schema": SCHEMA}
+    if meta:
+        head.update(meta)
+    out: List[Record] = [head]
+    if tracer is not None:
+        out.extend(span_records(tracer))
+    if metrics is not None:
+        out.extend(metric_records(metrics))
+    return out
+
+
+def write_jsonl(
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write one record per line; returns the number of records written."""
+    recs = records(tracer, metrics, meta)
+    text = "\n".join(json.dumps(r, sort_keys=True) for r in recs)
+    Path(path).write_text(text + "\n")
+    return len(recs)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Record]:
+    """Parse a JSONL export (blank lines tolerated)."""
+    out: List[Record] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def _fmt_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{body}]"
+
+
+def render_tree(
+    tracer: Tracer,
+    metrics: Optional[Metrics] = None,
+    max_children: int = 12,
+) -> str:
+    """Indented phase-time tree, durations in ms, attrs inline.
+
+    Sibling runs longer than ``max_children`` (e.g. hundreds of solver
+    passes) are elided around the head/tail so the tree stays readable;
+    the elision line says how many spans (and how much time) it hides.
+    """
+    lines: List[str] = ["phase-time tree (ms):"]
+
+    def emit(span: Span, depth: int) -> None:
+        dur = "   ...  " if span.end is None else f"{span.duration * 1e3:8.3f}"
+        lines.append(f"  {dur}  {'  ' * depth}{span.name}{_fmt_attrs(span.attrs)}")
+        children = span.children
+        if len(children) > max_children:
+            head, tail = max_children - 2, 2
+            hidden = children[head:-tail]
+            hidden_ms = sum((c.duration or 0.0) for c in hidden) * 1e3
+            for child in children[:head]:
+                emit(child, depth + 1)
+            lines.append(
+                f"  {'':8}  {'  ' * (depth + 1)}... {len(hidden)} more spans "
+                f"({hidden_ms:.3f} ms) ..."
+            )
+            for child in children[-tail:]:
+                emit(child, depth + 1)
+        else:
+            for child in children:
+                emit(child, depth + 1)
+
+    for root in tracer.roots:
+        emit(root, 0)
+    if metrics is not None and metrics.enabled:
+        snap = metrics.as_dict()
+        if snap["counters"]:
+            lines.append("")
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {value:>12}  {name}")
+        if snap["gauges"]:
+            lines.append("")
+            lines.append("gauges (value / max):")
+            for name, g in snap["gauges"].items():
+                lines.append(f"  {g['value']:>12g} / {g['max']:g}  {name}")
+        if snap["histograms"]:
+            lines.append("")
+            lines.append("histograms (count / mean / max):")
+            for name, h in snap["histograms"].items():
+                mean = h["total"] / h["count"] if h["count"] else 0.0
+                lines.append(f"  {h['count']:>8} / {mean:.2f} / {h['max']}  {name}")
+    return "\n".join(lines) + "\n"
+
+
+class InMemorySink:
+    """Collects session records in memory (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.items: List[Record] = []
+
+    def collect(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> List[Record]:
+        recs = records(tracer, metrics, meta)
+        self.items.extend(recs)
+        return recs
+
+    def spans(self) -> List[Record]:
+        return [r for r in self.items if r.get("type") == "span"]
+
+    def counters(self) -> Dict[str, object]:
+        return {r["name"]: r["value"] for r in self.items if r.get("type") == "counter"}

@@ -1,0 +1,205 @@
+"""Wall-clock tracing: nested spans over the analysis pipeline.
+
+A :class:`Span` is one timed region with a name, key/value attributes and
+child spans; a :class:`Tracer` maintains the current span stack and the
+list of completed root spans.  Usage::
+
+    tracer = Tracer()
+    with tracer.span("solve", order="rpo") as sp:
+        ...
+        sp.annotate(passes=stats.passes)
+
+Instrumented library code never constructs a tracer itself — it asks for
+the process-current one via :func:`get_tracer`, which defaults to
+:data:`NULL_TRACER`, a no-op singleton whose ``span`` returns a shared,
+allocation-free context manager.  That keeps the disabled-by-default cost
+of an instrumentation point to one method call (no objects, no clock
+reads), so golden tests and benchmarks are unaffected unless a session is
+installed (see :func:`repro.obs.session`).
+
+Span durations use ``time.perf_counter`` and are reported in seconds;
+``start`` is an offset from the tracer's creation, so span records are
+relative timelines, not timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "get_tracer", "set_tracer"]
+
+
+class Span:
+    """One timed region.  ``end``/``duration`` are ``None`` while open."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes after the fact (e.g. stats known at exit)."""
+        self.attrs.update(attrs)
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Yield ``(span, depth)`` pre-order over this span's subtree."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (pre-order), if any."""
+        for span, _ in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dur = "open" if self.end is None else f"{self.duration * 1e3:.3f}ms"
+        return f"Span({self.name!r}, {dur}, {len(self.children)} children)"
+
+
+class _SpanHandle:
+    """Context manager binding one span to one tracer; re-usable pattern is
+    one handle per ``span()`` call (spans can nest arbitrarily)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self._span)
+        return None
+
+
+class Tracer:
+    """Collects a forest of spans; ``enabled`` lets hot loops skip
+    per-iteration instrumentation with a single attribute check."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> _SpanHandle:
+        return _SpanHandle(self, Span(name, attrs))
+
+    def _push(self, span: Span) -> None:
+        span.start = self._clock() - self._epoch
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self._clock() - self._epoch
+        # Tolerate mispaired exits rather than corrupt the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            while self._stack and self._stack.pop() is not span:
+                pass
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the innermost open span (no-op at top level)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+
+class _NullSpan(Span):
+    """Shared inert span: accepts ``annotate`` and stays empty."""
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def annotate(self, **attrs: object) -> None:
+        return None
+
+
+class _NullHandle:
+    __slots__ = ()
+    _span = None  # set after _NULL_SPAN exists
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every call is a no-op returning shared singletons."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def span(self, name: str, **attrs: object) -> _NullHandle:  # type: ignore[override]
+        return _NULL_HANDLE
+
+    def annotate(self, **attrs: object) -> None:
+        return None
+
+
+#: Process-wide default: tracing off.
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The tracer instrumented code should report to (never ``None``)."""
+    return _current
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as process-current (``None`` restores the no-op);
+    returns the previously installed tracer so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -271,8 +271,27 @@ class PFGBuilder:
 
 
 def build_pfg(program: ast.Program) -> ParallelFlowGraph:
-    """Build the Parallel Flow Graph of ``program``."""
-    return PFGBuilder(program).build()
+    """Build the Parallel Flow Graph of ``program``.
+
+    Construction is traced as a ``pfg-build`` span carrying node/edge/def
+    counts (and mirrored into ``pfg.*`` counters) when an observability
+    session is installed — see :mod:`repro.obs`.
+    """
+    from ..obs import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("pfg-build", program=program.name) as span:
+        graph = PFGBuilder(program).build()
+        if tracer.enabled:
+            n_edges = sum(1 for _ in graph.edges())
+            span.annotate(nodes=len(graph.nodes), edges=n_edges, defs=len(graph.defs))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("pfg.builds")
+        metrics.inc("pfg.nodes", len(graph.nodes))
+        metrics.inc("pfg.defs", len(graph.defs))
+        metrics.inc("pfg.edges", sum(1 for _ in graph.edges()))
+    return graph
 
 
 def section_names_by_construct(program: ast.Program) -> dict:

@@ -15,16 +15,24 @@ Commands
 ``report FILE``      — full optimization report: safety (anomalies,
                        synchronization lint) and opportunities (constants,
                        induction variables, dead code, copies, CSE).
+``stats FILE``       — run the whole pipeline under the observability
+                       layer and print the phase-time tree + counters.
+
+Observability flags (``analyze``/``report``/``run``; ``stats`` implies
+``--trace``): ``--trace`` appends the phase-time tree to the command's
+output, ``--profile OUT.jsonl`` exports the span/metric records as JSONL
+(schema ``repro-obs/1``, see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
-from .. import analyze as _analyze
+from .. import analyze as _analyze, obs
 from ..analysis import find_anomalies, lint_synchronization
 from ..interp import RandomScheduler, run_program
 from ..lang import parse_program, pretty
@@ -36,6 +44,46 @@ from ..tools.format import render_kv, render_table
 
 def _load(path: str):
     return parse_program(Path(path).read_text())
+
+
+@contextmanager
+def _maybe_observe(args: argparse.Namespace):
+    """Install an observability session when the command asked for one
+    (``--trace``/``--profile``; ``stats`` always observes).  On exit,
+    append the phase-time tree and/or write the JSONL export."""
+    trace = getattr(args, "trace", False)
+    profile = getattr(args, "profile", None)
+    if not trace and not profile:
+        yield
+        return
+    count_ops = getattr(args, "count_ops", False)
+    with obs.session(count_bitset_ops=count_ops) as sess:
+        yield
+    if trace:
+        sys.stdout.write("\n")
+        sys.stdout.write(obs.render_tree(sess.tracer, sess.metrics))
+    if profile:
+        n = sess.write_jsonl(profile, command=args.command, file=getattr(args, "file", None))
+        sys.stderr.write(f"wrote {n} records to {profile}\n")
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the phase-time tree after the command output",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="OUT.jsonl",
+        help="export spans and metrics as JSONL (schema repro-obs/1)",
+    )
+    p.add_argument(
+        "--count-ops",
+        dest="count_ops",
+        action="store_true",
+        help="also count bitset set/word operations (slower, more detail)",
+    )
 
 
 def cmd_parse(args: argparse.Namespace) -> int:
@@ -106,6 +154,29 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Whole-pipeline observability: parse → PFG → solve → clients (and one
+    interpreter run unless ``--no-run``), then a summary; the installed
+    session (``stats`` implies ``--trace``) prints the phase-time tree."""
+    from ..driver import optimize
+
+    prog = _load(args.file)
+    report = optimize(prog, preserved=args.preserved)
+    if not args.no_run:
+        run_program(
+            prog,
+            RandomScheduler(seed=args.seed, max_loop_iters=args.max_loop_iters),
+            graph=report.result.graph,
+        )
+    result = report.result
+    sys.stdout.write(
+        f"pipeline stats for '{prog.name}': {result.system} equations, "
+        f"{len(result.graph)} blocks, {len(result.graph.defs)} definitions, "
+        f"{result.stats.passes} solver passes ({result.stats.order})\n"
+    )
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     prog = _load(args.file)
     result = run_program(prog, RandomScheduler(seed=args.seed, max_loop_iters=args.max_loop_iters))
@@ -138,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
     p.add_argument("--order", default="document")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
@@ -151,13 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full optimization report")
     p.add_argument("file")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("run", help="interpret a program once")
     p.add_argument("file")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-loop-iters", type=int, default=3)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "stats", help="run the whole pipeline traced; print the phase-time tree"
+    )
+    p.add_argument("file")
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-loop-iters", type=int, default=3)
+    p.add_argument(
+        "--no-run", action="store_true", help="skip the interpreter run phase"
+    )
+    p.add_argument("--profile", metavar="OUT.jsonl", help="also export JSONL")
+    p.set_defaults(func=cmd_stats, trace=True, count_ops=True)
 
     return parser
 
@@ -166,7 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _maybe_observe(args):
+            return args.func(args)
     except LangError as err:
         sys.stderr.write(f"error: {err}\n")
         return 1

@@ -7,7 +7,7 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).parents[2]
-DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/equations.md"]
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/equations.md", "docs/observability.md"]
 
 
 @pytest.mark.parametrize("doc", DOCS)

@@ -104,3 +104,70 @@ def test_report_command(program_file, capsys):
 def test_report_preserved_flag(program_file, capsys):
     assert main(["report", program_file, "--preserved", "none"]) == 0
     assert "optimization report" in capsys.readouterr().out
+
+
+def test_report_trace_prints_phase_tree(program_file, capsys):
+    assert main(["report", program_file, "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "optimization report" in out
+    assert "phase-time tree" in out
+    assert "timings:" in out  # report render gains the timings section
+    for phase in ("parse", "pfg-build", "solve", "client:constprop"):
+        assert phase in out, phase
+
+
+def test_report_untraced_has_no_timings(program_file, capsys):
+    assert main(["report", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "timings:" not in out and "phase-time tree" not in out
+
+
+def test_report_profile_writes_jsonl(program_file, capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "profile.jsonl"
+    assert main(["report", program_file, "--profile", str(out_path)]) == 0
+    records = [json.loads(line) for line in out_path.read_text().splitlines()]
+    assert records[0]["type"] == "meta" and records[0]["schema"] == "repro-obs/1"
+    assert records[0]["command"] == "report"
+    spans = {r["name"] for r in records if r["type"] == "span"}
+    assert {"parse", "pfg-build", "solve", "pass"} <= spans
+    assert any(name.startswith("client:") for name in spans)
+    assert "wrote" in capsys.readouterr().err
+
+
+def test_analyze_trace(program_file, capsys):
+    assert main(["analyze", program_file, "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "reaching definitions" in out and "phase-time tree" in out
+
+
+def test_run_trace_shows_interp_span(program_file, capsys):
+    assert main(["run", program_file, "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "interp.run" in out and "interp.steps" in out
+
+
+def test_stats_command(program_file, capsys):
+    assert main(["stats", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline stats for 'demo'" in out
+    assert "phase-time tree" in out
+    for phase in ("parse", "pfg-build", "solve", "interp.run"):
+        assert phase in out, phase
+    assert "bitset.ops" in out  # stats enables op counting
+
+
+def test_stats_no_run_skips_interpreter(program_file, capsys):
+    assert main(["stats", program_file, "--no-run"]) == 0
+    out = capsys.readouterr().out
+    assert "interp.run" not in out
+
+
+def test_stats_profile(program_file, capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "stats.jsonl"
+    assert main(["stats", program_file, "--profile", str(out_path)]) == 0
+    records = [json.loads(line) for line in out_path.read_text().splitlines()]
+    assert any(r["type"] == "counter" for r in records)

@@ -122,6 +122,47 @@ def test_make_order_unknown_rejected(fig3_graph):
         make_order(fig3_graph, "zigzag")
 
 
+def test_make_order_random_does_not_mutate_document_order(fig3_graph):
+    """Regression: ``random:<seed>`` must shuffle a private copy, never the
+    graph's node list or a list another caller already holds."""
+    doc_before = [n.name for n in fig3_graph.document_order()]
+    held = fig3_graph.document_order()  # a caller's copy, taken beforehand
+    held_before = list(held)
+    make_order(fig3_graph, "random:5")
+    assert [n.name for n in fig3_graph.document_order()] == doc_before
+    assert [n.name for n in fig3_graph.nodes] == doc_before
+    assert held == held_before
+
+
+def test_make_order_random_seeds_do_not_interfere(fig3_graph):
+    """Two orderings drawn with different seeds are independent draws:
+    interleaving them must not change what either seed produces."""
+    a1 = [n.name for n in make_order(fig3_graph, "random:3")]
+    b1 = [n.name for n in make_order(fig3_graph, "random:4")]
+    a2 = [n.name for n in make_order(fig3_graph, "random:3")]
+    b2 = [n.name for n in make_order(fig3_graph, "random:4")]
+    assert a1 == a2
+    assert b1 == b2
+    assert a1 != b1
+    # ...and the two draws never alias the same list object.
+    assert make_order(fig3_graph, "random:3") is not make_order(fig3_graph, "random:3")
+
+
+def test_snapshot_passes_bounded_by_max_snapshots():
+    system = ChainReach(10)
+    with pytest.raises(RuntimeError, match="max_snapshots"):
+        solve_round_robin(
+            system, order=list(reversed(range(10))), snapshot_passes=True, max_snapshots=3
+        )
+
+
+def test_snapshot_passes_within_budget_records_all():
+    system = ChainReach(10)
+    stats = solve_round_robin(system, order=list(range(10)), snapshot_passes=True)
+    assert stats.converged
+    assert len(stats.snapshots) == stats.passes
+
+
 def test_stats_as_dict():
     stats = SolveStats(order="rpo", passes=3, changing_passes=2, converged=True)
     d = stats.as_dict()
