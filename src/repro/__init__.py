@@ -18,7 +18,7 @@ Quickstart::
 
 from __future__ import annotations
 
-from . import obs
+from . import obs, robust
 from .cfg import build_cfg, is_sequential
 from .cssa import build_cssa, render_cssa
 from .driver import OptimizationReport, optimize
@@ -42,6 +42,7 @@ def analyze(
     order: str = "document",
     solver: str = "stabilized",
     preserved: str = "approx",
+    budget=None,
 ) -> ReachingDefsResult:
     """Analyze ``program`` with the most precise applicable equation system.
 
@@ -54,27 +55,35 @@ def analyze(
     ``solver="stabilized"`` (default) gives the deterministic,
     visit-order-independent solution; ``"round-robin"`` is the paper's
     chaotic iteration (see DESIGN.md §5 "solver modes").
+
+    ``budget`` is an optional :class:`repro.dataflow.ResourceBudget`
+    bounding the whole analysis; exhaustion raises
+    :class:`repro.dataflow.NonConvergenceError` (see
+    :func:`repro.robust.analyze_with_degradation` for the fall-back
+    ladder that degrades instead of failing).
     """
     graph = build_pfg(program)
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
     uses_parallel = bool(graph.forks) or bool(graph.pardos)
     if uses_sync:
         return solve_synch(
-            graph, backend=backend, order=order, solver=solver, preserved=preserved
+            graph, backend=backend, order=order, solver=solver, preserved=preserved,
+            budget=budget,
         )
     if uses_parallel:
-        return solve_parallel(graph, backend=backend, order=order, solver=solver)
+        return solve_parallel(graph, backend=backend, order=order, solver=solver, budget=budget)
     if solver == "stabilized":
         # The sequential system is monotone with a unique fixpoint: the
         # chaotic solver already yields the stabilized answer.
         solver = "round-robin"
-    return solve_sequential(graph, backend=backend, order=order, solver=solver)
+    return solve_sequential(graph, backend=backend, order=order, solver=solver, budget=budget)
 
 
 __all__ = [
     "__version__",
     "analyze",
     "obs",
+    "robust",
     "optimize",
     "OptimizationReport",
     "ast",

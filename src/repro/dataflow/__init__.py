@@ -8,16 +8,23 @@ from .bitset import (
     SetBackend,
     make_backend,
 )
+from .budget import BudgetExceeded, NonConvergenceError, ResourceBudget, check_budget
 from .framework import EquationSystem, FixpointDiverged, SolveStats, VariableMap
 from .solver import (
     DEFAULT_MAX_PASSES,
     SOLVERS,
     make_order,
     solve_round_robin,
+    solve_stabilized,
     solve_worklist,
 )
 
 __all__ = [
+    "BudgetExceeded",
+    "NonConvergenceError",
+    "ResourceBudget",
+    "check_budget",
+    "solve_stabilized",
     "BACKENDS",
     "FrozensetBackend",
     "IntBitsetBackend",

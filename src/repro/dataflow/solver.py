@@ -26,6 +26,14 @@ totals (``solve.<order>.passes``), and a worklist-length histogram for
 ``solve_worklist``.  Disabled by default: with no session installed the
 instruments are no-op singletons and per-node work carries no
 instrumentation at all (only per-pass no-op calls remain).
+
+Guarded execution: every solver accepts an optional
+:class:`~repro.dataflow.budget.ResourceBudget` (wall-clock deadline +
+pass/update caps) and raises a typed
+:class:`~repro.dataflow.budget.NonConvergenceError` — carrying the
+:class:`SolveStats` and the partial state snapshot — when a budget trips
+or the terminal ``max_passes`` safety net is hit.  No solver ever
+*returns* with ``converged=False``.
 """
 
 from __future__ import annotations
@@ -37,7 +45,8 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 from ..obs import get_metrics, get_tracer
 from ..pfg.graph import ParallelFlowGraph
 from ..pfg.node import PFGNode
-from .framework import EquationSystem, FixpointDiverged, SolveStats
+from .budget import NonConvergenceError, ResourceBudget, check_budget
+from .framework import EquationSystem, SolveStats
 
 N = TypeVar("N")
 
@@ -98,6 +107,7 @@ def solve_round_robin(
     max_passes: int = DEFAULT_MAX_PASSES,
     snapshot_passes: bool = False,
     max_snapshots: int = DEFAULT_MAX_SNAPSHOTS,
+    budget: Optional[ResourceBudget] = None,
 ) -> SolveStats:
     """Iterate full sweeps until fixpoint; returns iteration statistics.
 
@@ -107,15 +117,24 @@ def solve_round_robin(
     ``max_snapshots`` cap (default ``DEFAULT_MAX_SNAPSHOTS``) turns a
     runaway recording into a clear error instead of memory exhaustion;
     raise it explicitly for long golden traces.
+
+    ``budget`` bounds the run operationally (deadline / passes / updates)
+    and is checked once per sweep; a tripped budget raises
+    :class:`~repro.dataflow.budget.BudgetExceeded` with the partial state.
     """
     nodes = list(order) if order is not None else list(system.nodes())
     tracer = get_tracer()
+    if budget is not None:
+        budget.start()
     system.initialize()
     stats = SolveStats(order=order_name)
     with tracer.span("solve", solver="round-robin", order=order_name) as span:
         if tracer.enabled:
             stats.span = span
         while stats.passes < max_passes:
+            if budget is not None:
+                budget.charge_pass()
+                check_budget(budget, stats, system)
             stats.passes += 1
             changed = False
             before = stats.changed_updates
@@ -126,6 +145,8 @@ def solve_round_robin(
                         stats.changed_updates += 1
                         changed = True
                 pass_span.annotate(changed_updates=stats.changed_updates - before)
+            if budget is not None:
+                budget.charge_updates(len(nodes))
             if snapshot_passes:
                 if len(stats.snapshots) >= max_snapshots:
                     raise RuntimeError(
@@ -142,7 +163,11 @@ def solve_round_robin(
                 _record_solver_metrics("round-robin", order_name, stats)
                 return stats
         span.annotate(**stats.as_dict())
-    raise FixpointDiverged(stats)
+    raise NonConvergenceError(
+        stats,
+        reason=f"terminal pass cap max_passes={max_passes} hit (equation bug?)",
+        snapshot=system.snapshot(),
+    )
 
 
 def solve_worklist(
@@ -150,17 +175,25 @@ def solve_worklist(
     order: Optional[Sequence[N]] = None,
     order_name: str = "worklist",
     max_updates: Optional[int] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> SolveStats:
-    """Worklist iteration seeded with all nodes (in ``order``)."""
+    """Worklist iteration seeded with all nodes (in ``order``).
+
+    ``max_updates`` is the terminal safety net (defaults to passes×nodes
+    equivalent of the round-robin cap); ``budget`` is the operational
+    :class:`~repro.dataflow.budget.ResourceBudget`, checked per update.
+    """
     nodes = list(order) if order is not None else list(system.nodes())
     tracer = get_tracer()
     metrics = get_metrics()
     observing = metrics.enabled
     if observing:
         queue_hist = metrics.histogram("solve.worklist.len")
+    if budget is not None:
+        budget.start()
     system.initialize()
     stats = SolveStats(order=order_name)
-    budget = max_updates if max_updates is not None else DEFAULT_MAX_PASSES * max(1, len(nodes))
+    update_cap = max_updates if max_updates is not None else DEFAULT_MAX_PASSES * max(1, len(nodes))
     queue = deque(nodes)
     queued = set(nodes)
     with tracer.span("solve", solver="worklist", order=order_name) as span:
@@ -172,9 +205,16 @@ def solve_worklist(
             node = queue.popleft()
             queued.discard(node)
             stats.node_updates += 1
-            if stats.node_updates > budget:
+            if budget is not None:
+                budget.charge_updates()
+                check_budget(budget, stats, system)
+            if stats.node_updates > update_cap:
                 span.annotate(**stats.as_dict())
-                raise FixpointDiverged(stats)
+                raise NonConvergenceError(
+                    stats,
+                    reason=f"terminal update cap max_updates={update_cap} hit (equation bug?)",
+                    snapshot=system.snapshot(),
+                )
             if system.update(node):
                 stats.changed_updates += 1
                 for dep in system.dependents(node):
@@ -195,6 +235,7 @@ def solve_stabilized(
     order_name: str = "document",
     max_passes: int = DEFAULT_MAX_PASSES,
     max_rounds: int = 100,
+    budget: Optional[ResourceBudget] = None,
 ) -> SolveStats:
     """Phase-alternating least-fixpoint solver for the parallel/
     synchronized systems (DESIGN.md §5, "solver modes").
@@ -238,6 +279,8 @@ def solve_stabilized(
     """
     nodes = list(order) if order is not None else list(system.nodes())
     tracer = get_tracer()
+    if budget is not None:
+        budget.start()
     system.initialize()
     stats = SolveStats(order=f"stabilized/{order_name}")
 
@@ -245,10 +288,18 @@ def solve_stabilized(
         with tracer.span("phase", kind=kind) as phase_span:
             phase_passes = 0
             while True:
+                if budget is not None:
+                    budget.charge_pass()
+                    budget.charge_updates(len(nodes))
+                    check_budget(budget, stats, system)
                 stats.passes += 1
                 phase_passes += 1
                 if stats.passes > max_passes:
-                    raise FixpointDiverged(stats)
+                    raise NonConvergenceError(
+                        stats,
+                        reason=f"terminal pass cap max_passes={max_passes} hit (equation bug?)",
+                        snapshot=system.snapshot(),
+                    )
                 changed = False
                 before = stats.changed_updates
                 with tracer.span("pass", index=stats.passes, kind=kind) as pass_span:
@@ -298,7 +349,11 @@ def solve_stabilized(
             history.append(current)
             kill_history.append(system.kill_state())
         span.annotate(**stats.as_dict())
-    raise FixpointDiverged(stats)
+    raise NonConvergenceError(
+        stats,
+        reason=f"terminal round cap max_rounds={max_rounds} hit (equation bug?)",
+        snapshot=system.snapshot(),
+    )
 
 
 def _meet_kill_states(system, states):

@@ -30,9 +30,11 @@ from .analysis import (
     lint_synchronization,
     propagate_constants,
 )
+from .dataflow.budget import ResourceBudget
 from .lang import ast, parse_program
 from .obs import get_tracer
 from .reachdefs.result import ReachingDefsResult
+from .robust.degrade import DegradationRecord, analyze_with_degradation
 
 
 @dataclass
@@ -54,6 +56,9 @@ class OptimizationReport:
     #: installed around :func:`optimize` (empty otherwise, so rendered
     #: output is unchanged for untraced runs).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: degradation provenance when the analysis fell down the
+    #: :mod:`repro.robust.degrade` ladder (``None`` = full precision).
+    degradation: Optional[DegradationRecord] = None
 
     # -- aggregate views ----------------------------------------------------
 
@@ -89,6 +94,9 @@ class OptimizationReport:
             f"{len(self.result.graph.defs)} definitions)",
             "",
         ]
+        if self.degradation is not None:
+            lines.append(f"degradation: {self.degradation.format()}")
+            lines.append("")
         lines.append("safety:")
         if not self.anomalies and not self.sync_issues:
             lines.append("  clean — no anomalies, no synchronization issues")
@@ -129,6 +137,8 @@ def optimize(
     backend: str = "bitset",
     preserved: str = "approx",
     observable_at_exit: bool = True,
+    budget: Optional[ResourceBudget] = None,
+    degrade: bool = True,
 ) -> OptimizationReport:
     """Run the full analysis pipeline on source text or a parsed program.
 
@@ -137,16 +147,34 @@ def optimize(
     span per client analysis), so with an observability session installed
     the report's ``timings`` maps every phase to wall seconds and a
     ``--profile`` export contains the whole pipeline tree.
+
+    ``budget`` bounds the reaching-definitions solve.  With ``degrade=True``
+    (default) an unaffordable or untrustworthy precise analysis falls down
+    the :mod:`repro.robust.degrade` ladder and the report carries the
+    :class:`~repro.robust.degrade.DegradationRecord`; with
+    ``degrade=False`` exhaustion propagates as
+    :class:`~repro.dataflow.budget.NonConvergenceError` for the caller to
+    handle (the CLI maps it to exit code 2).
     """
     from . import analyze  # deferred: repro/__init__ imports this module
 
     tracer = get_tracer()
     with tracer.span("optimize") as pipeline:
         program = parse_program(source) if isinstance(source, str) else source
+        degradation: Optional[DegradationRecord] = None
         with tracer.span("analyze", backend=backend, preserved=preserved):
-            result = analyze(program, backend=backend, preserved=preserved)
+            if degrade:
+                result, degradation = analyze_with_degradation(
+                    program, backend=backend, preserved=preserved, budget=budget
+                )
+            else:
+                result = analyze(
+                    program, backend=backend, preserved=preserved, budget=budget
+                )
 
         notes: List[str] = []
+        if degradation is not None:
+            notes.append(degradation.format())
         if not result.stats.converged:  # pragma: no cover - solvers raise instead
             notes.append("solver did not converge")
         if "+cycle" in result.stats.order:
@@ -173,6 +201,7 @@ def optimize(
             copies=client("copyprop", find_copy_propagations, result),
             subexpressions=client("cse", find_common_subexpressions, result),
             notes=notes,
+            degradation=degradation,
         )
     if tracer.enabled:
         report.timings = {

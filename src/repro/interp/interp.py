@@ -188,6 +188,13 @@ class Interpreter:
                 runnable = sorted(t.tid for t in alive if self._is_runnable(t))
                 if not runnable:
                     self.result.deadlocked = True
+                    self.result.blocked_events = sorted(
+                        {
+                            t.waiting_event
+                            for t in alive
+                            if t.status == "blocked" and t.waiting_event is not None
+                        }
+                    )
                     break
                 steps += 1
                 if steps > self.max_steps:

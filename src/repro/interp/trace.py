@@ -51,6 +51,9 @@ class RunResult:
     uses: List[UseObservation] = field(default_factory=list)
     merges: List[MergeObservation] = field(default_factory=list)
     deadlocked: bool = False
+    #: On deadlock, the (sorted, distinct) event names the blocked threads
+    #: were waiting on — the CLI's ``DEADLOCK (blocked on: ...)`` detail.
+    blocked_events: List[str] = field(default_factory=list)
     steps: int = 0
     inputs: Dict[str, object] = field(default_factory=dict)
     #: Block names in global execution order, one entry per executed

@@ -1,6 +1,7 @@
 """Reaching definitions for explicitly parallel programs — the paper's
 three equation systems plus the Preserved-set approximation."""
 
+from .conservative import ConservativeRDSystem, solve_conservative
 from .genkill import DefSet, GenKillInfo, compute_genkill, sequential_kill
 from .parallel import ParallelRDSystem, solve_parallel
 from .preserved import (
@@ -14,6 +15,8 @@ from .sequential import SequentialRDSystem, solve_sequential
 from .synch import SynchRDSystem, solve_synch
 
 __all__ = [
+    "ConservativeRDSystem",
+    "solve_conservative",
     "DefSet",
     "GenKillInfo",
     "compute_genkill",

@@ -247,7 +247,7 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
         )
 
 
-def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool):
+def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool, budget=None):
     """Dispatch a reaching-definitions system to a solver.
 
     ``solver``:
@@ -259,6 +259,9 @@ def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool):
       ``order="document"`` + ``snapshot_passes=True`` to reproduce the
       paper's per-iteration tables).
     * ``"worklist"`` — classic worklist over the same equations.
+
+    ``budget`` (a :class:`~repro.dataflow.budget.ResourceBudget`) guards
+    the run; see :mod:`repro.dataflow.budget`.
     """
     from ..dataflow.solver import solve_stabilized
 
@@ -269,11 +272,13 @@ def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool):
                 "snapshot_passes records the paper's per-sweep iterates; "
                 "use solver='round-robin' for that"
             )
-        return solve_stabilized(system, nodes, order_name=order)
+        return solve_stabilized(system, nodes, order_name=order, budget=budget)
     if solver == "round-robin":
-        return solve_round_robin(system, nodes, order_name=order, snapshot_passes=snapshot_passes)
+        return solve_round_robin(
+            system, nodes, order_name=order, snapshot_passes=snapshot_passes, budget=budget
+        )
     if solver == "worklist":
-        return solve_worklist(system, nodes, order_name=f"worklist/{order}")
+        return solve_worklist(system, nodes, order_name=f"worklist/{order}", budget=budget)
     raise ValueError(f"unknown solver {solver!r}")
 
 
@@ -283,8 +288,9 @@ def solve_parallel(
     order: str = "document",
     solver: str = "stabilized",
     snapshot_passes: bool = False,
+    budget=None,
 ) -> ReachingDefsResult:
     """Run the §5 parallel reaching-definitions system to fixpoint."""
     system = ParallelRDSystem(graph, backend=backend)
-    stats = run_solver(system, graph, order, solver, snapshot_passes)
+    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
     return system.to_result(stats)

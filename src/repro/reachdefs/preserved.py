@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional
 
+from ..dataflow.budget import NonConvergenceError, ResourceBudget, check_budget
+from ..dataflow.framework import SolveStats
 from ..pfg.concurrency import mutually_exclusive
 from ..pfg.graph import ParallelFlowGraph
 from ..pfg.node import PFGNode
@@ -55,10 +57,37 @@ class PreservedResult:
         return frozenset(p.name for p in self.preserved[node])
 
 
-def compute_preserved(graph: ParallelFlowGraph, max_passes: int = 1000) -> PreservedResult:
+class _PreservedSnapshot:
+    """Adapter handing :func:`~repro.dataflow.budget.check_budget` a
+    name-keyed copy of the partial Preserved sets."""
+
+    def __init__(self, preserved: Dict[PFGNode, FrozenSet[PFGNode]]):
+        self._preserved = preserved
+
+    def snapshot(self):
+        return {
+            "Preserved": {
+                n.name: frozenset(p.name for p in s) for n, s in self._preserved.items()
+            }
+        }
+
+
+def compute_preserved(
+    graph: ParallelFlowGraph,
+    max_passes: int = 1000,
+    budget: Optional[ResourceBudget] = None,
+) -> PreservedResult:
     """Fixpoint of the approximation above (monotone, so round-robin over
     reverse postorder converges quickly — one pass for DAGs without sync,
-    a few with post/wait chains)."""
+    a few with post/wait chains).
+
+    Guarded like the solvers: exhausting ``max_passes`` (or the optional
+    ``budget``) raises a typed
+    :class:`~repro.dataflow.budget.NonConvergenceError` carrying iteration
+    stats and the partial Preserved sets, never a silent partial result.
+    """
+    if budget is not None:
+        budget.start()
     order = graph.reverse_postorder()
     preserved: Dict[PFGNode, FrozenSet[PFGNode]] = {n: frozenset() for n in graph.nodes}
 
@@ -77,10 +106,22 @@ def compute_preserved(graph: ParallelFlowGraph, max_passes: int = 1000) -> Prese
 
     passes = 0
     changed = True
+    shim = _PreservedSnapshot(preserved)
+    stats = SolveStats(order="preserved/rpo")
     while changed:
-        if passes >= max_passes:  # pragma: no cover - monotone, finite lattice
-            raise RuntimeError("preserved-set computation failed to converge")
+        if passes >= max_passes:
+            raise NonConvergenceError(
+                stats,
+                reason=f"preserved-set pass cap max_passes={max_passes} hit",
+                snapshot=shim.snapshot(),
+            )
+        if budget is not None:
+            budget.charge_pass()
+            budget.charge_updates(len(order))
+            check_budget(budget, stats, shim)
         passes += 1
+        stats.passes = passes
+        stats.node_updates += len(order)
         changed = False
         for node in order:
             acc = set(preserved[node])
@@ -122,7 +163,10 @@ def empty_preserved(graph: ParallelFlowGraph) -> PreservedResult:
 
 
 def resolve_preserved(
-    graph: ParallelFlowGraph, mode: str = "approx", oracle: Optional[PreservedMap] = None
+    graph: ParallelFlowGraph,
+    mode: str = "approx",
+    oracle: Optional[PreservedMap] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> PreservedResult:
     """Resolve a user-facing ``preserved=`` parameter.
 
@@ -131,7 +175,7 @@ def resolve_preserved(
     ``"oracle"`` — caller-supplied sets (tests), via ``oracle``.
     """
     if mode == "approx":
-        return compute_preserved(graph)
+        return compute_preserved(graph, budget=budget)
     if mode == "none":
         return empty_preserved(graph)
     if mode == "oracle":

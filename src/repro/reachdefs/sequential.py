@@ -91,14 +91,17 @@ def solve_sequential(
     order: str = "document",
     solver: str = "round-robin",
     snapshot_passes: bool = False,
+    budget=None,
 ) -> ReachingDefsResult:
     """Run sequential reaching definitions to fixpoint on ``graph``."""
     system = SequentialRDSystem(graph, backend=backend)
     nodes = make_order(graph, order)
     if solver == "round-robin":
-        stats = solve_round_robin(system, nodes, order_name=order, snapshot_passes=snapshot_passes)
+        stats = solve_round_robin(
+            system, nodes, order_name=order, snapshot_passes=snapshot_passes, budget=budget
+        )
     elif solver == "worklist":
-        stats = solve_worklist(system, nodes, order_name=f"worklist/{order}")
+        stats = solve_worklist(system, nodes, order_name=f"worklist/{order}", budget=budget)
     else:
         raise ValueError(f"unknown solver {solver!r}")
     return system.to_result(stats)

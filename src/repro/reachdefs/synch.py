@@ -216,6 +216,7 @@ def solve_synch(
     preserved_oracle=None,
     snapshot_passes: bool = False,
     filter_synch_pass: bool = True,
+    budget=None,
 ) -> ReachingDefsResult:
     """Run the §6 synchronized reaching-definitions system to fixpoint.
 
@@ -226,11 +227,14 @@ def solve_synch(
     equation (which can oscillate on loop-carried tokens — see the module
     docstring).  ``solver`` as in :func:`~repro.reachdefs.parallel.run_solver`:
     ``"stabilized"`` (default, deterministic) or the paper's
-    ``"round-robin"`` / ``"worklist"`` chaotic iteration.
+    ``"round-robin"`` / ``"worklist"`` chaotic iteration.  ``budget`` (a
+    :class:`~repro.dataflow.budget.ResourceBudget`) guards the *whole*
+    computation — the Preserved approximation and the equation solve
+    draw from the same allowance.
     """
-    pres = resolve_preserved(graph, mode=preserved, oracle=preserved_oracle)
+    pres = resolve_preserved(graph, mode=preserved, oracle=preserved_oracle, budget=budget)
     system = SynchRDSystem(
         graph, preserved=pres, backend=backend, filter_synch_pass=filter_synch_pass
     )
-    stats = run_solver(system, graph, order, solver, snapshot_passes)
+    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
     return system.to_result(stats)

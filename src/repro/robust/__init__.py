@@ -1,0 +1,63 @@
+"""repro.robust — guarded execution, graceful degradation, fault injection.
+
+The robustness subsystem wraps the analysis pipeline in three layers of
+defense (see ``docs/robustness.md``):
+
+* **budgets** — :class:`ResourceBudget` bounds any solve by wall clock,
+  passes, and node updates; exhaustion (and the solvers' terminal caps)
+  raises the typed :class:`NonConvergenceError` carrying iteration stats
+  and a partial-state snapshot instead of silently returning garbage
+  (re-exported here from :mod:`repro.dataflow.budget`, where they live to
+  keep the solver layer import-cycle-free);
+* **degradation** — :func:`analyze_with_degradation` falls back through
+  strictly-more-conservative, strictly-cheaper analyses rather than
+  failing, stamping a :class:`DegradationRecord` on the result's
+  provenance;
+* **verification** — :mod:`repro.robust.chaos` injects deterministic
+  seeded faults (shuffled orders, dropped/duplicated solver updates,
+  randomized interpreter schedules) and :func:`self_check` is the
+  dynamic soundness oracle behind ``repro check FILE`` that catches the
+  corruptions chaos can produce.
+"""
+
+from ..dataflow.budget import (
+    BudgetExceeded,
+    NonConvergenceError,
+    ResourceBudget,
+    check_budget,
+)
+from .chaos import (
+    ChaosPlan,
+    ChaosSystem,
+    InjectedCorruption,
+    chaos_schedulers,
+    corrupt_result,
+    shuffled_orders,
+)
+from .degrade import (
+    BLOCKING_SYNC_ISSUES,
+    DegradationLevel,
+    DegradationRecord,
+    analyze_with_degradation,
+)
+from .selfcheck import SelfCheckReport, self_check, verify_result
+
+__all__ = [
+    "BLOCKING_SYNC_ISSUES",
+    "BudgetExceeded",
+    "ChaosPlan",
+    "ChaosSystem",
+    "DegradationLevel",
+    "DegradationRecord",
+    "InjectedCorruption",
+    "NonConvergenceError",
+    "ResourceBudget",
+    "SelfCheckReport",
+    "analyze_with_degradation",
+    "chaos_schedulers",
+    "check_budget",
+    "corrupt_result",
+    "self_check",
+    "shuffled_orders",
+    "verify_result",
+]

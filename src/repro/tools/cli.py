@@ -15,6 +15,10 @@ Commands
 ``report FILE``      — full optimization report: safety (anomalies,
                        synchronization lint) and opportunities (constants,
                        induction variables, dead code, copies, CSE).
+``check FILE``       — soundness self-check: analyze (degradation ladder
+                       enabled), then verify the static sets against
+                       several seeded interpreter runs
+                       (:mod:`repro.robust.selfcheck`).
 ``stats FILE``       — run the whole pipeline under the observability
                        layer and print the phase-time tree + counters.
 
@@ -22,6 +26,25 @@ Observability flags (``analyze``/``report``/``run``; ``stats`` implies
 ``--trace``): ``--trace`` appends the phase-time tree to the command's
 output, ``--profile OUT.jsonl`` exports the span/metric records as JSONL
 (schema ``repro-obs/1``, see ``docs/observability.md``).
+
+Budget flags (``analyze``/``report``/``check``): ``--max-passes N`` and
+``--deadline SECONDS`` bound the fixpoint solve
+(:class:`repro.dataflow.budget.ResourceBudget`).  ``report`` degrades
+gracefully on exhaustion (see ``docs/robustness.md``) unless
+``--no-degrade`` is given; ``analyze`` always fails fast.
+
+Exit codes (documented contract, kept stable for CI use)
+--------------------------------------------------------
+
+====  ===========================================================
+code  meaning
+====  ===========================================================
+0     success (for ``check``: no soundness violations)
+1     usage / front-end / I/O error (bad syntax, missing file)
+2     analysis failure (non-convergence, budget exhaustion,
+      snapshot cap, ``check`` soundness violations)
+3     graph invariant violation (:class:`PFGInvariantError`)
+====  ===========================================================
 """
 
 from __future__ import annotations
@@ -34,16 +57,44 @@ from typing import List, Optional
 
 from .. import analyze as _analyze, obs
 from ..analysis import find_anomalies, lint_synchronization
+from ..dataflow.budget import NonConvergenceError, ResourceBudget
+from ..dataflow.framework import FixpointDiverged
 from ..interp import RandomScheduler, run_program
 from ..lang import parse_program, pretty
 from ..lang.errors import LangError
 from ..paper import tables as paper_tables
 from ..pfg import build_pfg, to_dot
+from ..pfg.validate import PFGInvariantError
 from ..tools.format import render_kv, render_table
 
 
 def _load(path: str):
     return parse_program(Path(path).read_text())
+
+
+def _add_budget_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--max-passes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the fixpoint solve after N sweeps (exit 2 on exhaustion)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort the fixpoint solve after this much wall time",
+    )
+
+
+def _budget_from(args: argparse.Namespace) -> Optional[ResourceBudget]:
+    max_passes = getattr(args, "max_passes", None)
+    deadline = getattr(args, "deadline", None)
+    if max_passes is None and deadline is None:
+        return None
+    return ResourceBudget(deadline_s=deadline, max_passes=max_passes)
 
 
 @contextmanager
@@ -100,8 +151,15 @@ def cmd_graph(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     result = _analyze(
-        _load(args.file), backend=args.backend, order=args.order, preserved=args.preserved
+        _load(args.file),
+        backend=args.backend,
+        order=args.order,
+        preserved=args.preserved,
+        budget=_budget_from(args),
     )
+    if not result.stats.converged:  # pragma: no cover - solvers raise instead
+        sys.stderr.write("error: solver did not converge\n")
+        return 2
     order = [n.name for n in result.graph.document_order()]
     cols = ["Gen", "Kill", "In", "Out"]
     if result.acc_killin is not None:
@@ -149,8 +207,33 @@ def cmd_cssa(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from ..driver import optimize
 
-    report = optimize(_load(args.file), preserved=args.preserved)
+    report = optimize(
+        _load(args.file),
+        preserved=args.preserved,
+        budget=_budget_from(args),
+        degrade=not args.no_degrade,
+    )
     sys.stdout.write(report.render())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from ..robust import self_check
+
+    report = self_check(
+        _load(args.file),
+        runs=args.runs,
+        max_loop_iters=args.max_loop_iters,
+        preserved=args.preserved,
+        budget=_budget_from(args),
+    )
+    sys.stdout.write(report.format() + "\n")
+    if not report.ok:
+        sys.stderr.write(
+            f"error: {len(report.violations)} dynamic observation(s) escaped "
+            "the static sets — the analysis result is unsound for this program\n"
+        )
+        return 2
     return 0
 
 
@@ -181,7 +264,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     prog = _load(args.file)
     result = run_program(prog, RandomScheduler(seed=args.seed, max_loop_iters=args.max_loop_iters))
     if result.deadlocked:
-        sys.stdout.write("DEADLOCK\n")
+        blocked = (
+            f" (blocked on: {', '.join(result.blocked_events)})"
+            if result.blocked_events
+            else ""
+        )
+        sys.stdout.write(f"DEADLOCK{blocked}\n")
     values = {var: str(cell.value) for var, cell in sorted(result.final_env.items())}
     sys.stdout.write(render_kv(values, f"final values (seed {args.seed}, {result.steps} steps)"))
     return 0
@@ -210,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--order", default="document")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
     _add_obs_flags(p)
+    _add_budget_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
@@ -223,8 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full optimization report")
     p.add_argument("file")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail fast (exit 2) instead of falling down the degradation ladder",
+    )
     _add_obs_flags(p)
+    _add_budget_flags(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "check",
+        help="soundness self-check: static sets vs. seeded interpreter runs",
+    )
+    p.add_argument("file")
+    p.add_argument("--runs", type=int, default=5, help="number of seeded runs")
+    p.add_argument("--max-loop-iters", type=int, default=2)
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_obs_flags(p)
+    _add_budget_flags(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("run", help="interpret a program once")
     p.add_argument("file")
@@ -250,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; maps failures onto the documented exit codes (see
+    module docstring): 1 front-end/I-O, 2 analysis failure, 3 invariant
+    violation.  Every failure prints a single ``error:`` line to stderr
+    rather than a traceback."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -258,9 +369,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     except LangError as err:
         sys.stderr.write(f"error: {err}\n")
         return 1
-    except FileNotFoundError as err:
+    except (FileNotFoundError, OSError) as err:
         sys.stderr.write(f"error: {err}\n")
         return 1
+    except NonConvergenceError as err:
+        stats = err.stats
+        sys.stderr.write(
+            f"error: analysis did not converge: {err.reason} "
+            f"({stats.passes} passes, {stats.node_updates} updates)\n"
+        )
+        return 2
+    except FixpointDiverged as err:
+        sys.stderr.write(f"error: analysis did not converge: {err}\n")
+        return 2
+    except PFGInvariantError as err:
+        sys.stderr.write(f"error: graph invariant violation: {err}\n")
+        return 3
+    except RuntimeError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,14 @@ from pathlib import Path
 import pytest
 
 ROOT = Path(__file__).parents[2]
-DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/equations.md", "docs/observability.md"]
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/equations.md",
+    "docs/observability.md",
+    "docs/robustness.md",
+]
 
 
 @pytest.mark.parametrize("doc", DOCS)

@@ -1,0 +1,33 @@
+"""`repro check` over every shipped program: the static sets must explain
+every seeded execution — including for the programs that take the
+degradation ladder (Figure 3's stale event)."""
+
+import pytest
+
+from repro import parse_program
+from repro.paper import programs
+from repro.robust import DegradationLevel, self_check
+from repro.tools.cli import main
+
+
+def test_check_command_on_quickstart_example(capsys):
+    assert main(["check", "examples/quickstart.pcf"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("self-check PASS")
+
+
+@pytest.mark.parametrize("key", sorted(programs.SOURCES))
+def test_self_check_all_paper_programs(key):
+    report = self_check(parse_program(programs.SOURCES[key]), runs=5)
+    assert report.ok, report.format()
+
+
+def test_fig3_passes_via_the_ladder():
+    """The paper's own broken example: its stale event voids the Preserved
+    assumption, so full §6 precision would be unsound — the ladder must
+    degrade to no-preserved and the degraded result must explain every
+    run."""
+    report = self_check(parse_program(programs.SOURCES["fig3"]), runs=8)
+    assert report.ok, report.format()
+    assert report.degradation is not None
+    assert report.degradation.level is DegradationLevel.NO_PRESERVED

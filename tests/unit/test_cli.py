@@ -171,3 +171,159 @@ def test_stats_profile(program_file, capsys, tmp_path):
     assert main(["stats", program_file, "--profile", str(out_path)]) == 0
     records = [json.loads(line) for line in out_path.read_text().splitlines()]
     assert any(r["type"] == "counter" for r in records)
+
+
+# -- exit-code contract (documented in the CLI module docstring) ----------
+
+SYNC_SRC = """program sync
+  event ready
+  (1) x = 1
+  (2) parallel sections
+    (3) section producer
+      (3) data = x + 1
+      (3) post(ready)
+    (4) section consumer
+      (4) wait(ready)
+      (4) y = data
+  (5) end parallel sections
+  (5) z = y
+end program
+"""
+
+DEADLOCK_SRC = """program dl
+  event e
+  (1) a = 1
+  (2) parallel sections
+    (3) section one
+      (3) wait(e)
+      (3) b = a
+    (4) section two
+      (4) c = 2
+  (5) end parallel sections
+end program
+"""
+
+
+@pytest.fixture
+def sync_file(tmp_path):
+    path = tmp_path / "sync.pcf"
+    path.write_text(SYNC_SRC)
+    return str(path)
+
+
+def test_analyze_budget_exhaustion_exits_2(sync_file, capsys):
+    """Regression for silent non-convergence: an exhausted budget must be
+    a loud, typed failure — distinct exit code plus an error: line."""
+    assert main(["analyze", sync_file, "--max-passes", "1"]) == 2
+    captured = capsys.readouterr()
+    err = captured.err
+    assert err.startswith("error: analysis did not converge:")
+    assert "pass budget 1 exceeded" in err
+    assert "passes" in err and "updates" in err  # stats detail, not just "failed"
+
+
+def test_analyze_generous_budget_is_fine(sync_file, capsys):
+    assert main(["analyze", sync_file, "--max-passes", "500"]) == 0
+    assert "converged" in capsys.readouterr().out
+
+
+def test_report_degrades_instead_of_failing(sync_file, capsys):
+    assert main(["report", sync_file, "--max-passes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "degradation: degraded to level 2 (conservative)" in out
+
+
+def test_report_no_degrade_exits_2(sync_file, capsys):
+    assert main(["report", sync_file, "--max-passes", "1", "--no-degrade"]) == 2
+    assert "error: analysis did not converge" in capsys.readouterr().err
+
+
+def test_missing_file_exits_1(capsys):
+    assert main(["check", "no-such-file.pcf"]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_os_error_exits_1(tmp_path, capsys):
+    # Reading a directory raises IsADirectoryError (an OSError).
+    assert main(["analyze", str(tmp_path)]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_invariant_violation_exits_3(program_file, capsys, monkeypatch):
+    from repro.pfg.validate import PFGInvariantError
+    from repro.tools import cli
+
+    def boom(*args, **kwargs):
+        raise PFGInvariantError(["fork (2) without matching join"])
+
+    monkeypatch.setattr(cli, "_analyze", boom)
+    assert main(["analyze", program_file]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("error: graph invariant violation:")
+    assert "fork (2)" in err
+
+
+def test_runtime_error_exits_2(program_file, capsys, monkeypatch):
+    from repro.tools import cli
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("snapshot cap exceeded")
+
+    monkeypatch.setattr(cli, "_analyze", boom)
+    assert main(["analyze", program_file]) == 2
+    assert "error: snapshot cap exceeded" in capsys.readouterr().err
+
+
+# -- check command ---------------------------------------------------------
+
+
+def test_check_passes_on_sound_program(sync_file, capsys):
+    assert main(["check", sync_file, "--runs", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("self-check PASS: 3 runs against the synch system")
+
+
+def test_check_reports_degradation(tmp_path, capsys):
+    path = tmp_path / "dl.pcf"
+    path.write_text(DEADLOCK_SRC)
+    assert main(["check", str(path), "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "wait-without-post" in out  # ladder provenance is surfaced
+    assert "deadlocked under seed(s)" in out
+
+
+def test_check_detects_tampered_result(tmp_path, capsys, monkeypatch):
+    """End-to-end corruption detection: a tampered analysis makes
+    ``repro check`` exit 2 with an error: line."""
+    import repro.robust.selfcheck as selfcheck_mod
+    from repro import analyze
+    from repro.interp import RandomScheduler, run_program
+    from repro.robust import corrupt_result
+
+    def tampered_analysis(program, **kwargs):
+        sound = analyze(program)
+        probe = run_program(
+            program, RandomScheduler(seed=0, max_loop_iters=2), graph=sound.graph
+        )
+        tampered, _ = corrupt_result(sound, probe, seed=0)
+        return tampered, None
+
+    monkeypatch.setattr(selfcheck_mod, "analyze_with_degradation", tampered_analysis)
+    path = tmp_path / "sync.pcf"
+    path.write_text(SYNC_SRC)
+    assert main(["check", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert "self-check FAIL" in captured.out
+    assert "escaped the static sets" in captured.err
+
+
+# -- run: deadlock surface -------------------------------------------------
+
+
+def test_run_reports_deadlock_with_blocked_events(tmp_path, capsys):
+    path = tmp_path / "dl.pcf"
+    path.write_text(DEADLOCK_SRC)
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "DEADLOCK (blocked on: e)" in out

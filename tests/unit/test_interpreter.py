@@ -225,3 +225,40 @@ end parallel sections
 end"""
     runs = [run(src, RandomScheduler(seed=9)).value("x") for _ in range(3)]
     assert len(set(runs)) == 1
+
+
+# -- deadlock reporting (the `repro run` / `repro check` surface) ---------
+
+DEADLOCK_SRC = """program p
+event e
+parallel sections
+  section A
+    wait(e)
+    x = 1
+  section B
+    y = 2
+end parallel sections
+end"""
+
+
+def test_deadlock_reports_blocked_events():
+    r = run(DEADLOCK_SRC)
+    assert r.deadlocked
+    assert r.blocked_events == ["e"]
+
+
+def test_no_deadlock_means_no_blocked_events():
+    r = run("program p\nx = 1\nend")
+    assert not r.deadlocked and r.blocked_events == []
+
+
+def test_deadlock_metric_counted():
+    from repro import obs
+
+    prog = parse_program(DEADLOCK_SRC)
+    with obs.session() as sess:
+        result = run_program(prog)
+    assert result.deadlocked
+    counters = sess.metrics.as_dict()["counters"]
+    assert counters["interp.deadlocks"] == 1
+    assert counters["interp.runs"] == 1

@@ -145,10 +145,11 @@ def test_jsonl_round_trip(tmp_path):
     names = {r["name"] for r in recs if r["type"] == "span"}
     assert {"parse", "pfg-build", "solve", "pass", "optimize"} <= names
     assert any(r["name"].startswith("client:") for r in recs if r["type"] == "span")
-    # Tree shape is recoverable from path/depth.
+    # Tree shape is recoverable from path/depth.  The solve sits under the
+    # degradation ladder's attempt span: optimize/analyze/analyze-attempt/…
     solve = next(r for r in recs if r["type"] == "span" and r["name"] == "solve")
-    assert solve["path"].startswith("optimize/analyze/")
-    assert solve["depth"] == 2
+    assert solve["path"].startswith("optimize/analyze/analyze-attempt/")
+    assert solve["depth"] == 3
     assert solve["dur"] >= 0
 
 
