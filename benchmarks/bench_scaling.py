@@ -82,6 +82,39 @@ def test_scaling_random_mix(benchmark, size):
     assert result.stats.converged
 
 
+# -- the same series under the sparse SCC-scheduled solver ----------------
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_scaling_chain_scc(benchmark, n):
+    prog = chain(n)
+    result = benchmark(analyze, prog, solver="scc")
+    assert result.stats.converged
+    assert result.stats.sweepless
+
+
+@pytest.mark.parametrize("n", [10, 40, 160])
+def test_scaling_diamonds_scc(benchmark, n):
+    prog = diamond_chain(n)
+    result = benchmark(analyze, prog, solver="scc")
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("depth", [2, 6, 12])
+def test_scaling_nested_parallel_scc(benchmark, depth):
+    prog = nested_parallel(depth)
+    result = benchmark(analyze, prog, solver="scc")
+    assert result.stats.converged
+
+
+@pytest.mark.parametrize("stages", [2, 6, 16])
+def test_scaling_sync_pipeline_scc(benchmark, stages):
+    prog = sync_pipeline(stages)
+    result = benchmark(analyze, prog, solver="scc")
+    assert result.stats.converged
+    assert result.system == "synch"
+
+
 @pytest.mark.parametrize("size", [100, 400])
 def test_scaling_pfg_construction(benchmark, size):
     prog = random_mix(seed=11, n_stmts=size)

@@ -43,6 +43,7 @@ def analyze(
     solver: str = "stabilized",
     preserved: str = "approx",
     budget=None,
+    cache: bool = True,
 ) -> ReachingDefsResult:
     """Analyze ``program`` with the most precise applicable equation system.
 
@@ -54,29 +55,61 @@ def analyze(
 
     ``solver="stabilized"`` (default) gives the deterministic,
     visit-order-independent solution; ``"round-robin"`` is the paper's
-    chaotic iteration (see DESIGN.md §5 "solver modes").
+    chaotic iteration (see DESIGN.md §5 "solver modes"); ``"scc"`` is the
+    sparse SCC-scheduled engine (:mod:`repro.dataflow.sched`) — same
+    fixpoints, far fewer node updates on mostly-acyclic graphs.
 
     ``budget`` is an optional :class:`repro.dataflow.ResourceBudget`
     bounding the whole analysis; exhaustion raises
     :class:`repro.dataflow.NonConvergenceError` (see
     :func:`repro.robust.analyze_with_degradation` for the fall-back
     ladder that degrades instead of failing).
+
+    ``cache=True`` (default) memoizes by program digest in
+    :data:`repro.dataflow.cache.GLOBAL_CACHE`: a warm call on an
+    unchanged program returns the cached result with **zero** solver
+    passes (the hit lands in the ``cache.*`` counters of
+    :mod:`repro.obs`).  Budget-guarded runs bypass the full-result cache
+    — a budget asks for the work to actually run under a guard.
     """
-    graph = build_pfg(program)
+    from .dataflow.cache import GLOBAL_CACHE, cached_build_pfg, program_digest
+
+    use_cache = cache and budget is None and GLOBAL_CACHE.enabled
+    key = None
+    if use_cache:
+        key = ("analyze", program_digest(program), backend, order, solver, preserved)
+        # Results are only valid for the exact AST analyzed (PFG nodes
+        # hold statement objects; the interpreter matches by identity —
+        # see cached_build_pfg), so a hit from a different parse of the
+        # same text is rejected and recomputed.
+        hit = GLOBAL_CACHE.get(
+            key, valid=lambda r: getattr(r.graph, "source_program", None) is program
+        )
+        if hit is not None:
+            return hit
+    graph = cached_build_pfg(program) if cache else build_pfg(program)
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
     uses_parallel = bool(graph.forks) or bool(graph.pardos)
     if uses_sync:
-        return solve_synch(
+        result = solve_synch(
             graph, backend=backend, order=order, solver=solver, preserved=preserved,
             budget=budget,
         )
-    if uses_parallel:
-        return solve_parallel(graph, backend=backend, order=order, solver=solver, budget=budget)
-    if solver == "stabilized":
-        # The sequential system is monotone with a unique fixpoint: the
-        # chaotic solver already yields the stabilized answer.
-        solver = "round-robin"
-    return solve_sequential(graph, backend=backend, order=order, solver=solver, budget=budget)
+    elif uses_parallel:
+        result = solve_parallel(
+            graph, backend=backend, order=order, solver=solver, budget=budget
+        )
+    else:
+        if solver == "stabilized":
+            # The sequential system is monotone with a unique fixpoint: the
+            # chaotic solver already yields the stabilized answer.
+            solver = "round-robin"
+        result = solve_sequential(
+            graph, backend=backend, order=order, solver=solver, budget=budget
+        )
+    if key is not None:
+        GLOBAL_CACHE.put(key, result)
+    return result
 
 
 __all__ = [

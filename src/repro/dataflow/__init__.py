@@ -9,7 +9,9 @@ from .bitset import (
     make_backend,
 )
 from .budget import BudgetExceeded, NonConvergenceError, ResourceBudget, check_budget
+from .cache import GLOBAL_CACHE, AnalysisCache, cached_build_pfg, program_digest
 from .framework import EquationSystem, FixpointDiverged, SolveStats, VariableMap
+from .sched import Region, Schedule, build_schedule, get_schedule, solve_scc
 from .solver import (
     DEFAULT_MAX_PASSES,
     SOLVERS,
@@ -25,6 +27,15 @@ __all__ = [
     "ResourceBudget",
     "check_budget",
     "solve_stabilized",
+    "AnalysisCache",
+    "GLOBAL_CACHE",
+    "cached_build_pfg",
+    "program_digest",
+    "Region",
+    "Schedule",
+    "build_schedule",
+    "get_schedule",
+    "solve_scc",
     "BACKENDS",
     "FrozensetBackend",
     "IntBitsetBackend",

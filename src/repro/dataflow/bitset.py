@@ -156,13 +156,13 @@ class IntBitsetBackend(SetBackend[int]):
         return a == b
 
     def to_frozenset(self, s: int) -> FrozenSet[Definition]:
+        # Extract set bits directly (s & -s isolates the lowest one) so
+        # sparse sets decode in O(popcount), not O(highest bit index).
         out = []
-        idx = 0
         while s:
-            if s & 1:
-                out.append(self.universe[idx])
-            s >>= 1
-            idx += 1
+            low = s & -s
+            out.append(self.universe[low.bit_length() - 1])
+            s ^= low
         return frozenset(out)
 
     def size(self, s: int) -> int:
@@ -208,7 +208,9 @@ class NumpyBitsetBackend(SetBackend[np.ndarray]):
         return frozenset(out)
 
     def size(self, s: np.ndarray) -> int:
-        return int(np.unpackbits(s.view(np.uint8)).sum())
+        # Word-wise popcount; np.unpackbits would allocate 8 bytes per bit
+        # on every call.
+        return sum(int(w).bit_count() for w in s.tolist())
 
 
 class CountingBackend(SetBackend):

@@ -69,6 +69,12 @@ class SolveStats:
     when an observability session was installed (``None`` otherwise); it
     carries wall time and the per-pass child spans.  It is deliberately
     excluded from :meth:`as_dict`, which stays a flat, JSON-ready record.
+
+    ``sweepless`` marks solvers with no notion of a global sweep (the
+    worklist and SCC-scheduled solvers): pass counts are meaningless
+    there, so :meth:`as_dict` (and hence ``repro stats`` rendering and
+    span annotations) omits ``passes``/``changing_passes`` instead of
+    reporting a misleading ``0``.
     """
 
     order: str = ""
@@ -79,16 +85,19 @@ class SolveStats:
     converged: bool = False
     snapshots: List[object] = field(default_factory=list)
     span: Optional[object] = None
+    sweepless: bool = False
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "order": self.order,
-            "passes": self.passes,
-            "changing_passes": self.changing_passes,
-            "node_updates": self.node_updates,
-            "changed_updates": self.changed_updates,
-            "converged": self.converged,
-        }
+        record: Dict[str, object] = {"order": self.order}
+        if not self.sweepless:
+            record["passes"] = self.passes
+            record["changing_passes"] = self.changing_passes
+        record.update(
+            node_updates=self.node_updates,
+            changed_updates=self.changed_updates,
+            converged=self.converged,
+        )
+        return record
 
 
 class FixpointDiverged(RuntimeError):

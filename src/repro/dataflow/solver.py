@@ -14,6 +14,12 @@ Two solvers:
     Classic worklist: re-evaluate a node when one of the nodes it depends
     on changed.  Fewer updates on sparse graphs; same fixpoint.
 
+Two more live elsewhere but register in ``SOLVERS`` here:
+``solve_stabilized`` (below) — the deterministic phase-alternating
+driver for the non-monotone parallel/synchronized systems — and
+``solve_scc`` (:mod:`repro.dataflow.sched`), the sparse SCC-scheduled
+engine that evaluates dependence regions in topological order.
+
 Orderings (``make_order``): ``document`` (creation order), ``rpo``
 (reverse postorder over control edges — the "depth first traversal" the
 paper cites as converging in ~5 passes), ``reverse-document`` (pessimal for
@@ -88,14 +94,16 @@ def _record_solver_metrics(solver: str, order_name: str, stats: SolveStats) -> N
     if not m.enabled:
         return
     m.inc("solve.runs")
-    m.inc("solve.passes", stats.passes)
+    if not stats.sweepless:
+        m.inc("solve.passes", stats.passes)
     m.inc("solve.node_updates", stats.node_updates)
     m.inc("solve.changed_updates", stats.changed_updates)
     # Per-order totals let the ordering ablations read straight off the
     # registry (the base order name, without solver-mode prefixes).
     base = order_name.split("/")[-1]
     m.inc(f"solve.{base}.runs")
-    m.inc(f"solve.{base}.passes", stats.passes)
+    if not stats.sweepless:
+        m.inc(f"solve.{base}.passes", stats.passes)
     m.inc(f"solve.{base}.node_updates", stats.node_updates)
     m.inc(f"solve.{solver}.runs")
 
@@ -192,7 +200,9 @@ def solve_worklist(
     if budget is not None:
         budget.start()
     system.initialize()
-    stats = SolveStats(order=order_name)
+    # A worklist run has no notion of sweeps; mark the stats sweepless so
+    # pass counts are omitted from reports instead of rendering as 0.
+    stats = SolveStats(order=order_name, sweepless=True)
     update_cap = max_updates if max_updates is not None else DEFAULT_MAX_PASSES * max(1, len(nodes))
     queue = deque(nodes)
     queued = set(nodes)
@@ -221,9 +231,7 @@ def solve_worklist(
                     if dep not in queued:
                         queued.add(dep)
                         queue.append(dep)
-        # A worklist run has no notion of sweeps; report update counts only.
         stats.converged = True
-        stats.passes = 0
         span.annotate(**stats.as_dict())
     _record_solver_metrics("worklist", order_name, stats)
     return stats
@@ -374,8 +382,11 @@ def _meet_kill_states(system, states):
 #: Signature shared by the solvers, for parameterized tests/benchmarks.
 Solver = Callable[..., SolveStats]
 
+from .sched import solve_scc  # noqa: E402  (after _record_solver_metrics exists)
+
 SOLVERS = {
     "round-robin": solve_round_robin,
     "worklist": solve_worklist,
     "stabilized": solve_stabilized,
+    "scc": solve_scc,
 }

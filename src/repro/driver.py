@@ -139,6 +139,7 @@ def optimize(
     observable_at_exit: bool = True,
     budget: Optional[ResourceBudget] = None,
     degrade: bool = True,
+    solver: str = "stabilized",
 ) -> OptimizationReport:
     """Run the full analysis pipeline on source text or a parsed program.
 
@@ -155,6 +156,11 @@ def optimize(
     ``degrade=False`` exhaustion propagates as
     :class:`~repro.dataflow.budget.NonConvergenceError` for the caller to
     handle (the CLI maps it to exit code 2).
+
+    ``solver`` selects the fixpoint engine as in :func:`repro.analyze`
+    (``"stabilized"`` default; ``"scc"`` for the sparse SCC-scheduled
+    engine, ``"round-robin"``/``"worklist"`` for the paper's chaotic
+    iteration).
     """
     from . import analyze  # deferred: repro/__init__ imports this module
 
@@ -165,11 +171,13 @@ def optimize(
         with tracer.span("analyze", backend=backend, preserved=preserved):
             if degrade:
                 result, degradation = analyze_with_degradation(
-                    program, backend=backend, preserved=preserved, budget=budget
+                    program, backend=backend, solver=solver, preserved=preserved,
+                    budget=budget,
                 )
             else:
                 result = analyze(
-                    program, backend=backend, preserved=preserved, budget=budget
+                    program, backend=backend, solver=solver, preserved=preserved,
+                    budget=budget,
                 )
 
         notes: List[str] = []

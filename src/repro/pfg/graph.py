@@ -95,6 +95,10 @@ class ParallelFlowGraph:
     def _invalidate(self) -> None:
         self._rpo_cache = None
         self._back_edge_cache = None
+        # Gen/kill local sets are a pure function of graph structure and
+        # are memoized on the graph (see repro.reachdefs.genkill); any
+        # structural change voids them.
+        self._genkill_memo = None
 
     # -- lookup ---------------------------------------------------------------
 

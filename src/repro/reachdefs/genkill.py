@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet
 
 from ..ir.defs import Definition
+from ..obs import get_metrics
 from ..pfg.concurrency import concurrent
 from ..pfg.graph import ParallelFlowGraph
 from ..pfg.node import PFGNode
@@ -47,7 +48,24 @@ class GenKillInfo:
 
 
 def compute_genkill(graph: ParallelFlowGraph) -> GenKillInfo:
-    """Compute all local sets for every node of ``graph``."""
+    """Compute all local sets for every node of ``graph``.
+
+    Memoized **on the graph object** (``graph._genkill_memo``): the
+    tables are keyed by node identity, so they are only meaningful for
+    the exact graph they were computed from — a digest-keyed cache would
+    hand tables whose keys belong to a *different* build of the same
+    program.  The graph's ``_invalidate`` hook drops the memo on any
+    structural mutation.  Hit/miss totals land in ``cache.genkill.*``
+    when an observability session is installed.
+    """
+    memo = getattr(graph, "_genkill_memo", None)
+    metrics = get_metrics()
+    if memo is not None:
+        if metrics.enabled:
+            metrics.inc("cache.genkill.hits")
+        return memo
+    if metrics.enabled:
+        metrics.inc("cache.genkill.misses")
     def_node: Dict[Definition, PFGNode] = {}
     for node in graph.nodes:
         for d in node.defs:
@@ -78,9 +96,11 @@ def compute_genkill(graph: ParallelFlowGraph) -> GenKillInfo:
         kill[node] = frozenset(seq)
         parallel_kill[node] = frozenset(par)
 
-    return GenKillInfo(
+    info = GenKillInfo(
         gen=gen, kill=kill, parallel_kill=parallel_kill, other_defs=other_defs, def_node=def_node
     )
+    graph._genkill_memo = info
+    return info
 
 
 def sequential_kill(info: GenKillInfo, node: PFGNode) -> DefSet:

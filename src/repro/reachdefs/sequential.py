@@ -102,6 +102,10 @@ def solve_sequential(
         )
     elif solver == "worklist":
         stats = solve_worklist(system, nodes, order_name=f"worklist/{order}", budget=budget)
+    elif solver == "scc":
+        from ..dataflow.sched import solve_scc
+
+        stats = solve_scc(system, nodes, order_name=f"scc/{order}", budget=budget)
     else:
         raise ValueError(f"unknown solver {solver!r}")
     return system.to_result(stats)

@@ -137,6 +137,13 @@ class SynchRDSystem(ParallelRDSystem):
         for n in self.graph.nodes:
             self.SynchPass[n] = empty
 
+    def reset_kill_nodes(self, nodes: Iterable[PFGNode]) -> None:
+        nodes = list(nodes)
+        super().reset_kill_nodes(nodes)
+        empty = self.ops.empty()
+        for n in nodes:
+            self.SynchPass[n] = empty
+
     def kill_state(self):
         state = super().kill_state()
         state["SynchPass"] = dict(self.SynchPass)

@@ -47,7 +47,7 @@ from ..analysis.synclint import SyncIssueKind, lint_synchronization
 from ..dataflow.budget import NonConvergenceError, ResourceBudget
 from ..lang import ast
 from ..obs import get_metrics, get_tracer
-from ..pfg import build_pfg, validate_pfg
+from ..pfg import validate_pfg
 from ..pfg.graph import ParallelFlowGraph
 from ..pfg.validate import PFGInvariantError
 from ..reachdefs import (
@@ -146,7 +146,9 @@ def analyze_with_degradation(
        (:data:`BLOCKING_SYNC_ISSUES`) → start at ``no-preserved``;
     3. any rung exhausting its (renewed) budget → next rung.
     """
-    graph = source if isinstance(source, ParallelFlowGraph) else build_pfg(source)
+    from ..dataflow.cache import cached_build_pfg
+
+    graph = source if isinstance(source, ParallelFlowGraph) else cached_build_pfg(source)
     tracer = get_tracer()
     metrics = get_metrics()
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)

@@ -27,6 +27,10 @@ Observability flags (``analyze``/``report``/``run``; ``stats`` implies
 output, ``--profile OUT.jsonl`` exports the span/metric records as JSONL
 (schema ``repro-obs/1``, see ``docs/observability.md``).
 
+Solver flag (``analyze``/``report``/``check``/``stats``): ``--solver
+{stabilized,round-robin,worklist,scc}`` selects the fixpoint engine;
+``scc`` is the sparse SCC-scheduled engine (``docs/performance.md``).
+
 Budget flags (``analyze``/``report``/``check``): ``--max-passes N`` and
 ``--deadline SECONDS`` bound the fixpoint solve
 (:class:`repro.dataflow.budget.ResourceBudget`).  ``report`` degrades
@@ -70,6 +74,17 @@ from ..tools.format import render_kv, render_table
 
 def _load(path: str):
     return parse_program(Path(path).read_text())
+
+
+def _add_solver_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--solver",
+        default="stabilized",
+        choices=["stabilized", "round-robin", "worklist", "scc"],
+        help="fixpoint engine: stabilized (deterministic default), the "
+        "paper's round-robin/worklist chaotic iteration, or scc (sparse "
+        "SCC-scheduled; same fixpoints, fewer updates)",
+    )
 
 
 def _add_budget_flags(p: argparse.ArgumentParser) -> None:
@@ -154,6 +169,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         _load(args.file),
         backend=args.backend,
         order=args.order,
+        solver=args.solver,
         preserved=args.preserved,
         budget=_budget_from(args),
     )
@@ -212,6 +228,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         preserved=args.preserved,
         budget=_budget_from(args),
         degrade=not args.no_degrade,
+        solver=args.solver,
     )
     sys.stdout.write(report.render())
     return 0
@@ -224,6 +241,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         _load(args.file),
         runs=args.runs,
         max_loop_iters=args.max_loop_iters,
+        solver=args.solver,
         preserved=args.preserved,
         budget=_budget_from(args),
     )
@@ -244,7 +262,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from ..driver import optimize
 
     prog = _load(args.file)
-    report = optimize(prog, preserved=args.preserved)
+    report = optimize(prog, preserved=args.preserved, solver=args.solver)
     if not args.no_run:
         run_program(
             prog,
@@ -252,10 +270,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
             graph=report.result.graph,
         )
     result = report.result
+    # Sweepless solvers (worklist, scc) have no meaningful pass count;
+    # report node updates instead of a misleading "0 passes".
+    if result.stats.sweepless:
+        effort = f"{result.stats.node_updates} node updates"
+    else:
+        effort = f"{result.stats.passes} solver passes"
     sys.stdout.write(
         f"pipeline stats for '{prog.name}': {result.system} equations, "
         f"{len(result.graph)} blocks, {len(result.graph.defs)} definitions, "
-        f"{result.stats.passes} solver passes ({result.stats.order})\n"
+        f"{effort} ({result.stats.order})\n"
     )
     return 0
 
@@ -297,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
     p.add_argument("--order", default="document")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_solver_flag(p)
     _add_obs_flags(p)
     _add_budget_flags(p)
     p.set_defaults(func=cmd_analyze)
@@ -317,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail fast (exit 2) instead of falling down the degradation ladder",
     )
+    _add_solver_flag(p)
     _add_obs_flags(p)
     _add_budget_flags(p)
     p.set_defaults(func=cmd_report)
@@ -329,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=5, help="number of seeded runs")
     p.add_argument("--max-loop-iters", type=int, default=2)
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_solver_flag(p)
     _add_obs_flags(p)
     _add_budget_flags(p)
     p.set_defaults(func=cmd_check)
@@ -351,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-run", action="store_true", help="skip the interpreter run phase"
     )
     p.add_argument("--profile", metavar="OUT.jsonl", help="also export JSONL")
+    _add_solver_flag(p)
     p.set_defaults(func=cmd_stats, trace=True, count_ops=True)
 
     return parser

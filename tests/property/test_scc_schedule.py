@@ -1,0 +1,127 @@
+"""Property: the sparse SCC-scheduled solver reaches the same fixpoints
+as the sweep solvers — byte-identical sets across random generator
+programs, every paper figure, and chaos-shuffled sweep orders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_pfg
+from repro.dataflow.framework import FixpointDiverged
+from repro.paper import programs
+from repro.reachdefs import solve_parallel, solve_sequential, solve_synch
+from repro.robust import shuffled_orders
+
+from .conftest import generated_programs, sequential_programs
+
+SLOTS = ("In", "Out", "ACCKillin", "ACCKillout", "ForkKill", "SynchPass")
+
+
+def _sets(result):
+    """Every computed set, keyed by (slot, node name) — byte-identical
+    comparison across solver runs on the same graph."""
+    out = {}
+    for slot in SLOTS:
+        attr = {
+            "In": "in_sets",
+            "Out": "out_sets",
+            "ACCKillin": "acc_killin",
+            "ACCKillout": "acc_killout",
+            "ForkKill": "fork_kill",
+            "SynchPass": "synch_pass",
+        }[slot]
+        values = getattr(result, attr, None)
+        if values is None:
+            continue
+        for node, value in values.items():
+            out[(slot, node.name)] = value
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=sequential_programs())
+def test_scc_identical_to_chaotic_solvers_sequential(prog):
+    # The §2 system is monotone with a unique fixpoint: every solver must
+    # land on exactly the same sets.
+    graph = build_pfg(prog)
+    base = solve_sequential(graph, solver="round-robin")
+    for solver in ("worklist", "scc"):
+        other = solve_sequential(graph, solver=solver)
+        assert _sets(other) == _sets(base), solver
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=False))
+def test_scc_identical_to_all_solvers_parallel(prog):
+    graph = build_pfg(prog)
+    base = solve_parallel(graph, solver="stabilized")
+    fast = solve_parallel(graph, solver="scc")
+    assert _sets(fast) == _sets(base)
+    for solver in ("round-robin", "worklist"):
+        chaotic = solve_parallel(graph, solver=solver)
+        assert _sets(chaotic) == _sets(fast), solver
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=generated_programs(with_sync=True))
+def test_scc_identical_to_stabilized_synch(prog):
+    # With synchronization the equations admit multiple fixpoints and the
+    # chaotic solvers may diverge (see test_order_independence.py); the
+    # scc solver's contract is exact agreement with the deterministic
+    # stabilized solution, and containment in any chaotic one.
+    graph = build_pfg(prog)
+    base = solve_synch(graph, solver="stabilized")
+    fast = solve_synch(graph, solver="scc")
+    assert _sets(fast) == _sets(base)
+    for solver in ("round-robin", "worklist"):
+        try:
+            chaotic = solve_synch(graph, solver=solver)
+        except FixpointDiverged:
+            continue  # honest outcome of the literal equations
+        for node in graph.nodes:
+            assert fast.in_sets[node] <= chaotic.in_sets[node], (solver, node.name)
+            assert fast.out_sets[node] <= chaotic.out_sets[node], (solver, node.name)
+
+
+@pytest.mark.parametrize("key", sorted(programs.SOURCES))
+def test_scc_identical_on_every_paper_figure(key):
+    # On the paper's figures the chaotic solvers converge and agree, so
+    # here the equality is exact against *all* of them.
+    graph = programs.graph(key)
+    uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
+    uses_parallel = bool(graph.forks) or bool(graph.pardos)
+    if uses_sync:
+        solve = solve_synch
+    elif uses_parallel:
+        solve = solve_parallel
+    else:
+        solve = solve_sequential
+    solvers = ["round-robin", "worklist"]
+    if solve is not solve_sequential:
+        solvers.append("stabilized")
+    fast = solve(graph, solver="scc")
+    for solver in solvers:
+        base = solve(graph, solver=solver)
+        assert _sets(fast) == _sets(base), (key, solver)
+
+
+@settings(max_examples=15, deadline=None)
+@given(prog=generated_programs(), seed=st.integers(min_value=0, max_value=999))
+def test_scc_fixpoint_invariant_under_shuffled_orders(prog, seed):
+    # Chaos seeds through the new scheduler: the order argument only sets
+    # within-region priority, so shuffled sweep orders cannot change the
+    # fixpoint.
+    graph = build_pfg(prog)
+    reference = solve_synch(graph, solver="scc")
+    shuffled = solve_synch(graph, solver="scc", order=f"random:{seed}")
+    assert _sets(shuffled) == _sets(reference)
+
+
+@pytest.mark.parametrize("key", ["fig3", "fig6", "fig9"])
+def test_scc_invariant_under_chaos_order_helper(key):
+    graph = programs.graph(key)
+    solve = solve_synch if (graph.posts_of_event or graph.waits_of_event) else solve_parallel
+    reference = _sets(solve(graph, solver="scc"))
+    for seed, _order in shuffled_orders(graph, range(7)):
+        shuffled = solve(graph, solver="scc", order=f"random:{seed}")
+        assert _sets(shuffled) == reference, f"seed {seed} changed the fixpoint"

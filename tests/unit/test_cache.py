@@ -1,0 +1,164 @@
+"""Unit tests for digest-keyed analysis caching (repro.dataflow.cache)."""
+
+from repro import analyze, obs, parse_program
+from repro.dataflow.cache import (
+    GLOBAL_CACHE,
+    AnalysisCache,
+    cached_build_pfg,
+    program_digest,
+)
+from repro.paper import programs
+from repro.reachdefs.genkill import compute_genkill
+
+SOURCE = programs.SOURCES["fig6"]
+
+
+# -- AnalysisCache mechanics ----------------------------------------------
+
+
+def test_lru_bound_and_eviction_order():
+    cache = AnalysisCache(maxsize=3)
+    for i in range(3):
+        cache.put(("ns", i), i)
+    cache.get(("ns", 0))  # refresh 0; 1 becomes least recent
+    cache.put(("ns", 3), 3)
+    assert ("ns", 1) not in cache
+    assert ("ns", 0) in cache and ("ns", 2) in cache and ("ns", 3) in cache
+    assert cache.evictions == 1
+
+
+def test_hit_miss_counters_and_metrics():
+    cache = AnalysisCache()
+    with obs.session() as sess:
+        assert cache.get(("pfg", "x")) is None
+        cache.put(("pfg", "x"), "v")
+        assert cache.get(("pfg", "x")) == "v"
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+    counters = sess.metrics.as_dict()["counters"]
+    assert counters["cache.hits"] == 1
+    assert counters["cache.misses"] == 1
+    assert counters["cache.pfg.hits"] == 1
+    assert counters["cache.pfg.misses"] == 1
+
+
+def test_disabled_cache_always_misses_and_stores_nothing():
+    cache = AnalysisCache(enabled=False)
+    cache.put(("k",), 1)
+    assert cache.get(("k",)) is None
+    assert len(cache) == 0
+
+
+def test_get_valid_predicate_rejects_and_drops():
+    cache = AnalysisCache()
+    cache.put(("k",), "stale")
+    assert cache.get(("k",), valid=lambda v: v != "stale") is None
+    assert ("k",) not in cache  # rejected entries are evicted
+    assert cache.misses == 1 and cache.hits == 0
+
+
+# -- program digest --------------------------------------------------------
+
+
+def test_digest_stable_across_parses_and_formatting():
+    a = parse_program(SOURCE)
+    b = parse_program(SOURCE)
+    assert program_digest(a) == program_digest(b)
+    # Formatting-only differences pretty-print identically -> same digest.
+    reformatted = parse_program(SOURCE.replace("\n", "\n\n", 1))
+    assert program_digest(reformatted) == program_digest(a)
+
+
+def test_digest_discriminates_programs():
+    assert program_digest(programs.program("fig6")) != program_digest(
+        programs.program("fig3")
+    )
+
+
+# -- cached_build_pfg ------------------------------------------------------
+
+
+def test_cached_build_pfg_hits_for_same_ast():
+    prog = parse_program(SOURCE)
+    g1 = cached_build_pfg(prog)
+    g2 = cached_build_pfg(prog)
+    assert g2 is g1
+    assert g1.program_digest == program_digest(prog)
+    assert g1.source_program is prog
+
+
+def test_cached_build_pfg_rejects_different_parse_of_same_text():
+    # PFG nodes hold statement objects; the interpreter matches them by
+    # identity, so a graph is only valid for the AST it was built from.
+    p1 = parse_program(SOURCE)
+    p2 = parse_program(SOURCE)
+    g1 = cached_build_pfg(p1)
+    g2 = cached_build_pfg(p2)
+    assert g2 is not g1
+    assert g2.source_program is p2
+
+
+# -- genkill memo ----------------------------------------------------------
+
+
+def test_genkill_memoized_on_graph_with_counters():
+    graph = programs.graph("fig6")
+    graph._genkill_memo = None  # session fixtures may have warmed it
+    with obs.session() as sess:
+        first = compute_genkill(graph)
+        second = compute_genkill(graph)
+    assert second is first
+    counters = sess.metrics.as_dict()["counters"]
+    assert counters["cache.genkill.misses"] == 1
+    assert counters["cache.genkill.hits"] == 1
+
+
+def test_genkill_memo_dropped_on_graph_mutation():
+    graph = programs.graph("fig1a")
+    info = compute_genkill(graph)
+    nodes = list(graph.nodes)
+    graph.add_edge(nodes[0], nodes[-1], "seq")  # _invalidate() fires
+    assert compute_genkill(graph) is not info
+
+
+# -- analyze-level caching -------------------------------------------------
+
+
+def test_warm_analyze_zero_solver_passes():
+    prog = parse_program(SOURCE)
+    cold = analyze(prog)
+    with obs.session() as sess:
+        warm = analyze(prog)
+    assert warm is cold
+    counters = sess.metrics.as_dict()["counters"]
+    assert counters.get("solve.runs", 0) == 0  # no solver ran at all
+    assert counters["cache.analyze.hits"] == 1
+
+
+def test_analyze_cache_discriminates_options():
+    prog = parse_program(SOURCE)
+    a = analyze(prog)
+    b = analyze(prog, solver="scc")
+    c = analyze(prog, order="rpo")
+    assert b is not a and c is not a
+    # ...but each variant is itself cached.
+    assert analyze(prog, solver="scc") is b
+
+
+def test_analyze_cache_bypasses():
+    prog = parse_program(SOURCE)
+    a = analyze(prog)
+    assert analyze(prog, cache=False) is not a
+    GLOBAL_CACHE.enabled = False
+    try:
+        assert analyze(prog) is not a
+    finally:
+        GLOBAL_CACHE.enabled = True
+
+
+def test_analyze_with_budget_skips_result_cache():
+    from repro.dataflow.budget import ResourceBudget
+
+    prog = parse_program(SOURCE)
+    a = analyze(prog)
+    b = analyze(prog, budget=ResourceBudget(max_passes=1000))
+    assert b is not a  # budgeted runs really run under their guard

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import analyze, parse_program
+from repro.dataflow.sched import solve_scc
 from repro.dataflow.solver import make_order, solve_round_robin
 from repro.interp import RandomScheduler, run_program
 from repro.interp.trace import check_soundness
@@ -122,6 +123,58 @@ def test_suppressed_node_produces_detectable_corruption():
     graph = build_pfg(prog)
     chaotic = ChaosSystem(SequentialRDSystem(graph), ChaosPlan(suppress=frozenset({"5"})))
     stats = solve_round_robin(chaotic, make_order(graph, "document"))
+    corrupted = chaotic.to_result(stats)
+    assert chaotic.suppressed_calls > 0
+    assert corrupted.in_sets[graph.node("5")] == frozenset()
+
+    violations, _ = verify_result(corrupted, prog, seeds=SEEDS)
+    flagged_seeds = {seed for seed, _ in violations}
+    assert flagged_seeds == set(SEEDS), "corruption must be caught on every schedule"
+
+
+# -- chaos through the SCC scheduler --------------------------------------
+
+
+@pytest.mark.parametrize("key", ["fig6", "fig9", "fig3c"])
+def test_scc_fixpoint_is_order_invariant_across_seeds(key):
+    # The order argument only sets within-region priority for the scc
+    # solver, so shuffled seeds cannot move the fixpoint.
+    graph = programs.graph(key)
+    solve = solve_synch if (graph.posts_of_event or graph.waits_of_event) else solve_parallel
+    reference = _in_sets_by_name(solve(graph, solver="scc"))
+    for seed in SEEDS:
+        shuffled = _in_sets_by_name(solve(graph, solver="scc", order=f"random:{seed}"))
+        assert shuffled == reference, f"seed {seed} changed the fixpoint"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scc_duplicated_updates_reach_same_fixpoint(seed):
+    # Duplicate faults re-evaluate idempotent equations; the schedule's
+    # exactly-once accounting tolerates them.  (Drop faults do NOT compose
+    # with scc: a dropped singleton evaluation is never retried — see the
+    # caveat in repro/dataflow/sched.py.)
+    graph = build_pfg(parse_program(SEQ))
+    clean = SequentialRDSystem(graph)
+    clean_stats = solve_scc(clean)
+
+    chaotic = ChaosSystem(
+        SequentialRDSystem(graph), ChaosPlan(seed=seed, duplicate_rate=1.0)
+    )
+    stats = solve_scc(chaotic)
+    assert stats.converged
+    assert chaotic.duplicated > 0
+    assert _in_sets_by_name(chaotic.to_result(stats)) == _in_sets_by_name(
+        clean.to_result(clean_stats)
+    )
+
+
+def test_scc_suppressed_node_produces_detectable_corruption():
+    # Persistent suppression corrupts the scc solution exactly as it does
+    # the sweep solvers', and the runtime oracle still catches it.
+    prog = parse_program(SEQ)
+    graph = build_pfg(prog)
+    chaotic = ChaosSystem(SequentialRDSystem(graph), ChaosPlan(suppress=frozenset({"5"})))
+    stats = solve_scc(chaotic)
     corrupted = chaotic.to_result(stats)
     assert chaotic.suppressed_calls > 0
     assert corrupted.in_sets[graph.node("5")] == frozenset()

@@ -117,13 +117,29 @@ def test_histogram_summary():
 def test_solver_metrics_aggregate_across_runs():
     prog = parse_program(SOURCE)
     with obs.session() as sess:
-        analyze(prog)
-        analyze(prog)
+        analyze(prog, cache=False)
+        analyze(prog, cache=False)
     counters = sess.metrics.as_dict()["counters"]
     assert counters["solve.runs"] == 2
     assert counters["solve.document.runs"] == 2
     assert counters["solve.node_updates"] > 0
     assert counters["pfg.builds"] == 2
+
+
+def test_warm_analyze_is_a_counted_cache_hit():
+    # With caching on (the default), the second analyze of an unchanged
+    # program is a cache hit: zero additional solver runs or PFG builds,
+    # and the hit lands in the cache.* counters.
+    prog = parse_program(SOURCE)
+    with obs.session() as sess:
+        first = analyze(prog)
+        second = analyze(prog)
+    counters = sess.metrics.as_dict()["counters"]
+    assert second is first
+    assert counters["solve.runs"] == 1
+    assert counters["pfg.builds"] == 1
+    assert counters["cache.hits"] >= 1
+    assert counters["cache.analyze.hits"] == 1
 
 
 # -- JSONL round-trip -----------------------------------------------------
@@ -269,7 +285,7 @@ def test_analyze_under_op_counting_matches_plain():
     prog = parse_program(SOURCE)
     plain = analyze(prog)
     with obs.session(count_bitset_ops=True) as sess:
-        counted = analyze(prog)
+        counted = analyze(prog, cache=False)  # a cache hit would skip the ops
     assert sess.metrics.as_dict()["counters"]["bitset.ops"] > 0
     for node in plain.graph.nodes:
         assert plain.in_names(node.name) == counted.in_names(node.name)

@@ -62,8 +62,13 @@ def test_worklist_converges_same_fixpoint():
 def test_worklist_counts_updates_not_passes():
     system = ChainReach(5)
     stats = solve_worklist(system)
-    assert stats.passes == 0
+    assert stats.sweepless
     assert stats.node_updates >= 5
+    # Sweepless runs omit the (meaningless) pass counts from the record
+    # instead of rendering a misleading 0.
+    d = stats.as_dict()
+    assert "passes" not in d and "changing_passes" not in d
+    assert d["node_updates"] == stats.node_updates
 
 
 def test_snapshots_recorded_per_pass():
@@ -167,3 +172,10 @@ def test_stats_as_dict():
     stats = SolveStats(order="rpo", passes=3, changing_passes=2, converged=True)
     d = stats.as_dict()
     assert d["order"] == "rpo" and d["passes"] == 3 and d["converged"]
+
+
+def test_stats_as_dict_sweepless_omits_pass_counts():
+    stats = SolveStats(order="scc", node_updates=7, converged=True, sweepless=True)
+    d = stats.as_dict()
+    assert "passes" not in d and "changing_passes" not in d
+    assert d == {"order": "scc", "node_updates": 7, "changed_updates": 0, "converged": True}
