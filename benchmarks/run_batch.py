@@ -1,0 +1,198 @@
+"""Record (or check) batch-driver throughput and per-task outcomes.
+
+Generates a synthetic corpus (``repro.synthetic``), writes it to a temp
+directory, and drives ``repro.batch.run_batch`` over it twice — serial
+(``workers=1``) and pooled (``workers=4``) — recording per-task status,
+exit code, and solver pass/update counts (deterministic) plus wall-clock
+times and the pooled speedup (context).
+
+``--check`` re-runs the corpus and compares every deterministic field
+against the checked-in ``benchmarks/BENCH_batch.json``; it additionally
+enforces the throughput gate — pooled must be at least ``GATE_SPEEDUP``×
+faster than serial — but only when the machine actually has >= 4 usable
+CPUs (a process pool cannot beat serial on fewer cores; the skip is
+printed so CI logs show which path ran).  CI's 4-vCPU runners take the
+live gate.  Regenerate the file with the bare command after any change
+that legitimately moves the counts.
+
+Run:    PYTHONPATH=src python benchmarks/run_batch.py [OUT.json]
+Check:  PYTHONPATH=src python benchmarks/run_batch.py --check
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import pretty
+from repro.batch import BatchOptions, run_batch
+from repro.synthetic import (
+    chain,
+    diamond_chain,
+    fig3_repeated,
+    nested_parallel,
+    random_mix,
+    sync_pipeline,
+    wide_parallel,
+)
+
+GATE_SPEEDUP = 2.0
+GATE_MIN_CPUS = 4
+POOL_WORKERS = 4
+REPEATS = 3
+
+#: Corpus: every program converges under the default budget, so the bench
+#: measures throughput, not failure handling (tests cover the latter).
+#: Sizes are chosen so each task costs enough for pooling to amortize
+#: process startup but the whole bench stays a few seconds per repeat.
+CORPUS = {
+    "chain400.pcf": lambda: chain(400),
+    "chain600.pcf": lambda: chain(600),
+    "diamonds80.pcf": lambda: diamond_chain(80),
+    "diamonds120.pcf": lambda: diamond_chain(120),
+    "fig3x6.pcf": lambda: fig3_repeated(6),
+    "mix400.pcf": lambda: random_mix(seed=7, n_stmts=400),
+    "mix600.pcf": lambda: random_mix(seed=11, n_stmts=600),
+    "nested10.pcf": lambda: nested_parallel(10),
+    "syncpipe12.pcf": lambda: sync_pipeline(12),
+    "wide8x8.pcf": lambda: wide_parallel(8, 8),
+}
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def write_corpus(root: Path) -> list[str]:
+    paths = []
+    for name, make in sorted(CORPUS.items()):
+        path = root / name
+        path.write_text(pretty(make()))
+        paths.append(str(path))
+    return paths
+
+
+def task_key(rec: dict) -> dict:
+    """The comparable half of a task record: outcome + solver counts."""
+    stats = rec["stats"] or {}
+    return {
+        "status": rec["status"],
+        "code": rec["code"],
+        "digest": rec["digest"],
+        "system": rec["system"],
+        "passes": stats.get("passes"),
+        "node_updates": stats.get("node_updates"),
+        "converged": stats.get("converged"),
+    }
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as tmp:
+        paths = write_corpus(Path(tmp))
+        options = BatchOptions()
+        out = {"tasks": {}, "timing": {}}
+        for label, workers in (("serial", 1), ("pooled", POOL_WORKERS)):
+            best = None
+            report = None
+            for _ in range(REPEATS):
+                t0 = time.perf_counter()
+                report = run_batch(paths, options, workers=workers)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+            out["timing"][label] = {"workers": workers, "time_s": round(best, 6)}
+            keyed = {
+                Path(rec["file"]).name: task_key(rec) for rec in report.records
+            }
+            if not out["tasks"]:
+                out["tasks"] = keyed
+            elif keyed != out["tasks"]:
+                # pooled and serial must agree on every deterministic field
+                raise AssertionError(
+                    f"{label} outcomes diverge from serial: {keyed!r}"
+                )
+            if report.exit_code != 0:
+                raise AssertionError(f"bench corpus must be clean, got {keyed!r}")
+        serial = out["timing"]["serial"]["time_s"]
+        pooled = out["timing"]["pooled"]["time_s"]
+        out["timing"]["speedup"] = round(serial / pooled, 3)
+        return out
+
+
+def check(path: Path) -> int:
+    recorded = json.loads(path.read_text())
+    fresh = measure()
+    failures = []
+    for name in sorted(CORPUS):
+        want = recorded["tasks"].get(name)
+        got = fresh["tasks"][name]
+        if want != got:
+            failures.append(f"{name}: recorded {want!r} != measured {got!r}")
+    cpus = usable_cpus()
+    speedup = fresh["timing"]["speedup"]
+    if cpus >= GATE_MIN_CPUS:
+        if speedup < GATE_SPEEDUP:
+            failures.append(
+                f"throughput gate broken: {POOL_WORKERS} workers gave only "
+                f"{speedup:.2f}x over serial (need >= {GATE_SPEEDUP}x on "
+                f"{cpus} CPUs)"
+            )
+        else:
+            print(
+                f"throughput gate holds: {speedup:.2f}x at {POOL_WORKERS} "
+                f"workers on {cpus} CPUs (need >= {GATE_SPEEDUP}x)"
+            )
+    else:
+        print(
+            f"throughput gate SKIPPED: only {cpus} usable CPU(s); a process "
+            f"pool cannot beat serial below {GATE_MIN_CPUS} cores "
+            f"(measured {speedup:.2f}x — recorded for context only)"
+        )
+    if failures:
+        print(f"\nFAIL: {len(failures)} mismatch(es) vs {path}:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nRegenerate with: PYTHONPATH=src python benchmarks/run_batch.py")
+        return 1
+    print(f"OK: {path} in sync across {len(CORPUS)} tasks")
+    return 0
+
+
+def write(path: Path) -> int:
+    fresh = measure()
+    payload = {
+        "meta": {
+            "source": "benchmarks/run_batch.py",
+            "python": platform.python_version(),
+            "repeats": REPEATS,
+            "cpus": usable_cpus(),
+            "note": "timing is context only; --check compares tasks and "
+            "applies the >=2x pooled gate when >=4 CPUs are available",
+        },
+        "tasks": fresh["tasks"],
+        "timing": fresh["timing"],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {len(payload['tasks'])} task records to {path} "
+        f"(speedup {fresh['timing']['speedup']}x on {usable_cpus()} CPU(s))"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    default = Path(__file__).parent / "BENCH_batch.json"
+    if "--check" in argv:
+        return check(default)
+    return write(Path(argv[0]) if argv else default)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

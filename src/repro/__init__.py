@@ -72,7 +72,7 @@ def analyze(
     :mod:`repro.obs`).  Budget-guarded runs bypass the full-result cache
     — a budget asks for the work to actually run under a guard.
     """
-    from .dataflow.cache import GLOBAL_CACHE, cached_build_pfg, program_digest
+    from .dataflow.cache import GLOBAL_CACHE, MISSING, cached_build_pfg, program_digest
 
     use_cache = cache and budget is None and GLOBAL_CACHE.enabled
     key = None
@@ -83,9 +83,11 @@ def analyze(
         # see cached_build_pfg), so a hit from a different parse of the
         # same text is rejected and recomputed.
         hit = GLOBAL_CACHE.get(
-            key, valid=lambda r: getattr(r.graph, "source_program", None) is program
+            key,
+            MISSING,
+            valid=lambda r: getattr(r.graph, "source_program", None) is program,
         )
-        if hit is not None:
+        if hit is not MISSING:
             return hit
     graph = cached_build_pfg(program) if cache else build_pfg(program)
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)

@@ -1,0 +1,177 @@
+"""Batch manifest: the ``repro-batch/1`` JSONL schema and summary views.
+
+A batch run streams one JSON record per line to its manifest as results
+arrive (so a killed batch still leaves every completed task on disk):
+
+``meta`` (first line)
+    ``schema`` (``repro-batch/1``), ``workers``, ``inputs`` (task count),
+    and the ``options`` the tasks ran under.
+
+``task`` (one per program, in completion order)
+    ``file``, ``program`` (parsed name), ``digest``
+    (:func:`repro.dataflow.cache.program_digest`), ``status``
+    (:data:`~repro.batch.driver.TASK_EXIT_CODES` keys), ``code`` (the
+    exit-code-equivalent under the CLI contract), ``error`` (message or
+    null), ``system``/``stats`` (solver provenance,
+    ``SolveStats.as_dict`` shape), ``anomalies``/``sync_issues``
+    (counts), ``degradation``
+    (:meth:`~repro.robust.degrade.DegradationRecord.as_dict` or null),
+    ``interp`` (dynamic-smoke outcome or null), ``wall_s``, and
+    ``counters`` — the worker's per-task observability counter totals,
+    which the parent session also merges fleet-wide.
+
+``summary`` (last line)
+    ``total``, ``by_status``, ``exit_code``, ``wall_s``.
+
+Completion order is nondeterministic under a process pool; consumers
+that need a stable view should sort by ``file`` — which is exactly what
+:func:`render_batch_summary` (the end-of-run table) does, so the rendered
+summary is deterministic for a given corpus regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..obs import read_jsonl
+
+SCHEMA = "repro-batch/1"
+
+Record = Dict[str, object]
+
+
+class ManifestWriter:
+    """Streams ``repro-batch/1`` records to a JSONL file as they arrive.
+
+    The meta line is written (and flushed) at construction, each task
+    record as it completes, and the summary on :meth:`write_summary` —
+    an interrupted batch therefore leaves a readable prefix behind.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        workers: int,
+        inputs: int,
+        options: Optional[Dict[str, object]] = None,
+    ):
+        self.path = Path(path)
+        self._fh = self.path.open("w")
+        self._count = 0
+        self._write(
+            {
+                "type": "meta",
+                "schema": SCHEMA,
+                "workers": workers,
+                "inputs": inputs,
+                "options": options or {},
+            }
+        )
+
+    def _write(self, record: Record) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self._count += 1
+
+    def write_task(self, record: Record) -> None:
+        self._write(record)
+
+    def write_summary(self, records: List[Record], wall_s: float) -> None:
+        self._write(summary_record(records, wall_s))
+
+    def close(self) -> int:
+        """Close the file; returns the number of records written."""
+        self._fh.close()
+        return self._count
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def summary_record(records: List[Record], wall_s: float) -> Record:
+    by_status: Dict[str, int] = {}
+    for rec in records:
+        status = str(rec.get("status"))
+        by_status[status] = by_status.get(status, 0) + 1
+    return {
+        "type": "summary",
+        "total": len(records),
+        "by_status": dict(sorted(by_status.items())),
+        "exit_code": batch_exit_code(records),
+        "wall_s": round(wall_s, 6),
+    }
+
+
+def batch_exit_code(records: List[Record]) -> int:
+    """The batch-level exit code under the CLI contract: 0 when every
+    task came back clean (``degraded`` counts as clean — it completed
+    with a sound result and carries its provenance), 2 when any task
+    failed (its own exit-code-equivalent is nonzero).  Batch-level
+    usage/I-O problems (no inputs, unreadable ``--manifest``) never get
+    this far — the CLI maps them to 1 before any task runs."""
+    return 2 if any(rec.get("code") != 0 for rec in records) else 0
+
+
+def read_manifest(path: Union[str, Path]) -> List[Record]:
+    """Parse a batch manifest; validates the schema stamp on line one."""
+    records = read_jsonl(path)
+    if not records or records[0].get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} manifest")
+    return records
+
+
+def _task_detail(rec: Record) -> str:
+    if rec.get("error"):
+        return str(rec["error"])
+    parts: List[str] = []
+    stats = rec.get("stats") or {}
+    if "node_updates" in stats:
+        parts.append(f"{stats['node_updates']} updates")
+    degradation = rec.get("degradation")
+    if degradation:
+        parts.append(f"degraded to {degradation.get('level_name')}")
+    interp = rec.get("interp")
+    if interp:
+        parts.append(f"{interp.get('steps')} interp steps")
+    return ", ".join(parts)
+
+
+def render_batch_summary(records: List[Record], workers: int = 1) -> str:
+    """Deterministic end-of-run table: one row per task, sorted by file
+    (completion order varies across pool schedules; this does not).
+    Wall-clock values are deliberately excluded — they belong in the
+    JSONL manifest, not in output that tests and CI logs diff."""
+    summary = summary_record(records, wall_s=0.0)
+    by_status = ", ".join(f"{n} {s}" for s, n in summary["by_status"].items())
+    lines = [
+        f"batch summary: {summary['total']} task(s) — {by_status or 'nothing ran'}"
+        f" (workers={workers}, exit {summary['exit_code']})"
+    ]
+    rows = [
+        (
+            str(rec.get("file")),
+            str(rec.get("status")),
+            str(rec.get("code")),
+            str(rec.get("system") or "-"),
+            _task_detail(rec) or "-",
+        )
+        for rec in sorted(records, key=lambda r: str(r.get("file")))
+    ]
+    header = ("file", "status", "code", "system", "detail")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines.append(line(header))
+    lines.append(line(tuple("-" * w for w in widths)))
+    lines.extend(line(row) for row in rows)
+    return "\n".join(lines) + "\n"

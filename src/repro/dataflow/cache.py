@@ -56,6 +56,14 @@ DEFAULT_MAXSIZE = 128
 
 _MISSING = object()
 
+#: Public miss sentinel for :meth:`AnalysisCache.get`.  Pass it as the
+#: ``default`` to distinguish a cache **miss** from a legitimately cached
+#: ``None`` value: ``cache.get(key, MISSING) is MISSING`` is True only on
+#: a miss.  (The bare ``get(key)`` form keeps returning ``None`` on a
+#: miss for existing callers — but with that form a cached ``None`` is
+#: indistinguishable from a miss and would be recomputed forever.)
+MISSING = _MISSING
+
 
 class AnalysisCache:
     """A bounded LRU mapping cache keys to arbitrary values.
@@ -83,16 +91,22 @@ class AnalysisCache:
     def _namespace(key: Tuple) -> str:
         return str(key[0]) if isinstance(key, tuple) and key else "misc"
 
-    def get(self, key: Tuple, valid=None):
-        """The cached value for ``key``, or ``None`` (counts a hit/miss
+    def get(self, key: Tuple, default=None, valid=None):
+        """The cached value for ``key``, or ``default`` (counts a hit/miss
         and refreshes LRU recency).  Disabled caches always miss.
+
+        ``default`` defaults to ``None`` for backwards compatibility;
+        callers that may legitimately cache ``None`` should pass the
+        module-level :data:`MISSING` sentinel and compare with ``is`` —
+        otherwise a cached ``None`` looks like a miss and is recomputed
+        (and double-counted as a miss) forever.
 
         ``valid`` is an optional predicate over the stored value; an
         entry it rejects is dropped and counted as a miss (used for the
         AST-identity check — see :func:`cached_build_pfg`).
         """
         if not self.enabled:
-            return None
+            return default
         m = get_metrics()
         ns = self._namespace(key)
         value = self._store.get(key, _MISSING)
@@ -104,7 +118,7 @@ class AnalysisCache:
             if m.enabled:
                 m.inc("cache.misses")
                 m.inc(f"cache.{ns}.misses")
-            return None
+            return default
         self._store.move_to_end(key)
         self.hits += 1
         if m.enabled:
@@ -183,8 +197,8 @@ def cached_build_pfg(program, cache: Optional[AnalysisCache] = None):
         return build_pfg(program)
     digest = program_digest(program)
     key = ("pfg", digest)
-    graph = store.get(key, valid=lambda g: g.source_program is program)
-    if graph is not None:
+    graph = store.get(key, MISSING, valid=lambda g: g.source_program is program)
+    if graph is not MISSING:
         return graph
     graph = build_pfg(program)
     graph.program_digest = digest

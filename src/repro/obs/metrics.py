@@ -125,6 +125,19 @@ class Metrics:
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
 
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Add a ``name → value`` snapshot into this registry's counters.
+
+        This is the cross-process aggregation hook: batch workers export
+        their per-task counter totals (plain dicts travel over the
+        process-pool pickle boundary; live ``Metrics`` objects do not)
+        and the parent session folds them in, so fleet-wide ``cache.*`` /
+        ``solve.*`` counters read as if the work had run in-process.
+        """
+        for name, value in counters.items():
+            if value:
+                self.counter(name).inc(int(value))
+
     # -- export ---------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
@@ -181,6 +194,9 @@ class NullMetrics(Metrics):
         return None
 
     def observe(self, name: str, value: float) -> None:
+        return None
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
         return None
 
 

@@ -21,6 +21,12 @@ Commands
                        (:mod:`repro.robust.selfcheck`).
 ``stats FILE``       — run the whole pipeline under the observability
                        layer and print the phase-time tree + counters.
+``batch INPUTS...``  — analyze many programs (files, globs, or a
+                       ``--manifest`` list) concurrently across
+                       ``--workers`` processes; stream a ``repro-batch/1``
+                       JSONL manifest (``--out``) and print a
+                       deterministic summary table
+                       (:mod:`repro.batch`, ``docs/batch.md``).
 
 Observability flags (``analyze``/``report``/``run``; ``stats`` implies
 ``--trace``): ``--trace`` appends the phase-time tree to the command's
@@ -44,10 +50,15 @@ Exit codes (documented contract, kept stable for CI use)
 code  meaning
 ====  ===========================================================
 0     success (for ``check``: no soundness violations)
-1     usage / front-end / I/O error (bad syntax, missing file)
+1     usage / front-end / I/O error (bad syntax, missing file;
+      for ``batch``: no inputs, unreadable ``--manifest``)
 2     analysis failure (non-convergence, budget exhaustion,
-      snapshot cap, ``check`` soundness violations)
+      snapshot cap, ``check`` soundness violations; for
+      ``batch``: any task recorded a nonzero code)
 3     graph invariant violation (:class:`PFGInvariantError`)
+4     dynamic failure (``run``: interpreter deadlock — also the
+      per-task code ``batch --run`` records for a deadlocking or
+      runaway program)
 ====  ===========================================================
 """
 
@@ -67,7 +78,7 @@ from ..interp import RandomScheduler, run_program
 from ..lang import parse_program, pretty
 from ..lang.errors import LangError
 from ..paper import tables as paper_tables
-from ..pfg import build_pfg, to_dot
+from ..pfg import to_dot
 from ..pfg.validate import PFGInvariantError
 from ..tools.format import render_kv, render_table
 
@@ -116,21 +127,38 @@ def _budget_from(args: argparse.Namespace) -> Optional[ResourceBudget]:
 def _maybe_observe(args: argparse.Namespace):
     """Install an observability session when the command asked for one
     (``--trace``/``--profile``; ``stats`` always observes).  On exit,
-    append the phase-time tree and/or write the JSONL export."""
+    append the phase-time tree and/or write the JSONL export.
+
+    The ``--profile`` export happens in a ``finally``: a failing command
+    (budget trip, non-convergence, invariant violation) still writes its
+    records — exactly the runs a post-mortem needs — with the failure
+    stamped on the meta record (``"failure": "ErrorType: message"``).
+    Spans still open at the failure point are omitted (finished work
+    only, per the ``repro-obs/1`` schema); the phase-time tree is only
+    printed after a clean run."""
     trace = getattr(args, "trace", False)
     profile = getattr(args, "profile", None)
     if not trace and not profile:
         yield
         return
     count_ops = getattr(args, "count_ops", False)
+    failure: Optional[str] = None
     with obs.session(count_bitset_ops=count_ops) as sess:
-        yield
+        try:
+            yield
+        except BaseException as err:
+            failure = f"{type(err).__name__}: {err}"
+            raise
+        finally:
+            if profile:
+                meta = {"command": args.command, "file": getattr(args, "file", None)}
+                if failure is not None:
+                    meta["failure"] = failure
+                n = sess.write_jsonl(profile, **meta)
+                sys.stderr.write(f"wrote {n} records to {profile}\n")
     if trace:
         sys.stdout.write("\n")
         sys.stdout.write(obs.render_tree(sess.tracer, sess.metrics))
-    if profile:
-        n = sess.write_jsonl(profile, command=args.command, file=getattr(args, "file", None))
-        sys.stderr.write(f"wrote {n} records to {profile}\n")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -159,7 +187,11 @@ def cmd_parse(args: argparse.Namespace) -> int:
 
 
 def cmd_graph(args: argparse.Namespace) -> int:
-    graph = build_pfg(_load(args.file))
+    from ..dataflow.cache import cached_build_pfg
+
+    # Same cache path as analyze/report: the build lands in (and counts
+    # toward) cache.pfg.* instead of silently bypassing the cache.
+    graph = cached_build_pfg(_load(args.file))
     sys.stdout.write(to_dot(graph) if args.dot else graph.describe() + "\n")
     return 0
 
@@ -213,8 +245,9 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 def cmd_cssa(args: argparse.Namespace) -> int:
     from ..cssa import build_cssa, render_cssa
+    from ..dataflow.cache import cached_build_pfg
 
-    graph = build_pfg(_load(args.file))
+    graph = cached_build_pfg(_load(args.file))
     form = build_cssa(graph)
     sys.stdout.write(render_cssa(graph, form))
     return 0
@@ -296,7 +329,67 @@ def cmd_run(args: argparse.Namespace) -> int:
         sys.stdout.write(f"DEADLOCK{blocked}\n")
     values = {var: str(cell.value) for var, cell in sorted(result.final_env.items())}
     sys.stdout.write(render_kv(values, f"final values (seed {args.seed}, {result.steps} steps)"))
-    return 0
+    # Exit-code contract: a deadlocked run is a dynamic failure (4), not
+    # a success — CI must be able to detect it without scraping stdout.
+    return 4 if result.deadlocked else 0
+
+
+def _batch_inputs(args: argparse.Namespace) -> List[str]:
+    """Resolve positional files/globs plus an optional ``--manifest`` list
+    into an ordered, de-duplicated path list.  A glob pattern matching
+    nothing and an unreadable manifest are *batch-level* I/O errors
+    (``FileNotFoundError`` → exit 1); a plain path that turns out not to
+    exist is left in — it becomes a recorded per-task ``error``."""
+    import glob as _glob
+
+    paths: List[str] = []
+    for item in args.inputs:
+        if any(ch in item for ch in "*?["):
+            matches = sorted(_glob.glob(item, recursive=True))
+            if not matches:
+                raise FileNotFoundError(f"pattern {item!r} matched no files")
+            paths.extend(matches)
+        else:
+            paths.append(item)
+    if args.manifest:
+        for line in Path(args.manifest).read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                paths.append(line)
+    seen = set()
+    ordered: List[str] = []
+    for p in paths:
+        if p not in seen:
+            seen.add(p)
+            ordered.append(p)
+    return ordered
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from ..batch import BatchOptions, run_batch
+
+    paths = _batch_inputs(args)
+    if not paths:
+        sys.stderr.write("error: no input programs (give files, globs, or --manifest)\n")
+        return 1
+    options = BatchOptions(
+        backend=args.backend,
+        preserved=args.preserved,
+        solver=args.solver,
+        degrade=not args.no_degrade,
+        max_passes=args.max_passes,
+        deadline_s=args.deadline,
+        run=args.run,
+        seed=args.seed,
+        max_loop_iters=args.max_loop_iters,
+    )
+    report = run_batch(
+        paths, options, workers=max(1, args.workers), manifest_path=args.out
+    )
+    sys.stdout.write(report.render_summary())
+    if args.out:
+        sys.stderr.write(f"wrote manifest to {args.out}\n")
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -368,6 +461,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
+        "batch",
+        help="analyze many programs concurrently (files, globs, or --manifest)",
+    )
+    p.add_argument(
+        "inputs",
+        nargs="*",
+        metavar="FILE_OR_GLOB",
+        help="program files; quoted glob patterns are expanded (recursive **)",
+    )
+    p.add_argument(
+        "--manifest",
+        metavar="LIST",
+        help="text file with one program path per line (# comments allowed)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="OUT.jsonl",
+        help="stream the repro-batch/1 JSONL manifest here as tasks complete",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size; 1 = serial in-process (deterministic order)",
+    )
+    p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="record a per-task failure instead of falling down the ladder",
+    )
+    p.add_argument(
+        "--run",
+        action="store_true",
+        help="also interpret each analyzable program once; a deadlock is "
+        "recorded as a dynamic failure (per-task code 4)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-loop-iters", type=int, default=3)
+    _add_solver_flag(p)
+    _add_obs_flags(p)
+    _add_budget_flags(p)
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
         "stats", help="run the whole pipeline traced; print the phase-time tree"
     )
     p.add_argument("file")
@@ -387,8 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; maps failures onto the documented exit codes (see
     module docstring): 1 front-end/I-O, 2 analysis failure, 3 invariant
-    violation.  Every failure prints a single ``error:`` line to stderr
-    rather than a traceback."""
+    violation, 4 dynamic failure (``run`` deadlock).  Every failure
+    prints a single ``error:`` line to stderr rather than a traceback.
+    ``batch`` records per-task failures in its manifest instead of
+    raising — only batch-level usage/I-O errors reach these handlers."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

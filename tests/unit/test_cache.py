@@ -3,6 +3,7 @@
 from repro import analyze, obs, parse_program
 from repro.dataflow.cache import (
     GLOBAL_CACHE,
+    MISSING,
     AnalysisCache,
     cached_build_pfg,
     program_digest,
@@ -54,6 +55,29 @@ def test_get_valid_predicate_rejects_and_drops():
     assert cache.get(("k",), valid=lambda v: v != "stale") is None
     assert ("k",) not in cache  # rejected entries are evicted
     assert cache.misses == 1 and cache.hits == 0
+
+
+def test_cached_none_is_a_hit_not_a_perpetual_miss():
+    """Regression: ``get`` returning ``None`` for a miss meant a
+    legitimately cached ``None`` was recomputed forever and every lookup
+    double-counted as a miss.  The MISSING sentinel disambiguates."""
+    cache = AnalysisCache()
+    cache.put(("analyze", "d1"), None)
+    value = cache.get(("analyze", "d1"), MISSING)
+    assert value is None and value is not MISSING  # cached None, not a miss
+    assert cache.hits == 1 and cache.misses == 0
+    # and a genuine miss is the sentinel, counted exactly once
+    assert cache.get(("analyze", "d2"), MISSING) is MISSING
+    assert cache.misses == 1
+
+
+def test_get_default_returned_on_miss():
+    cache = AnalysisCache()
+    assert cache.get(("k",), "fallback") == "fallback"
+    assert cache.get(("k",)) is None  # bare form keeps the old contract
+    disabled = AnalysisCache(enabled=False)
+    disabled.put(("k",), 1)
+    assert disabled.get(("k",), "fallback") == "fallback"
 
 
 # -- program digest --------------------------------------------------------

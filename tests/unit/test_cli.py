@@ -322,8 +322,133 @@ def test_check_detects_tampered_result(tmp_path, capsys, monkeypatch):
 
 
 def test_run_reports_deadlock_with_blocked_events(tmp_path, capsys):
+    """A deadlocked run must be loud on stdout AND in the exit code (4,
+    the documented dynamic-failure code) — CI cannot scrape stdout."""
     path = tmp_path / "dl.pcf"
     path.write_text(DEADLOCK_SRC)
-    assert main(["run", str(path)]) == 0
+    assert main(["run", str(path)]) == 4
     out = capsys.readouterr().out
     assert "DEADLOCK (blocked on: e)" in out
+    assert "a : 1" in out  # final values still printed for post-mortems
+
+
+def test_run_clean_program_still_exits_0(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    assert "DEADLOCK" not in capsys.readouterr().out
+
+
+def test_profile_written_even_when_analysis_fails(sync_file, tmp_path, capsys):
+    """Regression: the --profile JSONL used to be written only after a
+    clean run — a budget trip lost the trace exactly when a post-mortem
+    needed it.  It must now be exported with the failure stamped."""
+    import json
+
+    out_path = tmp_path / "fail.jsonl"
+    assert main(["analyze", sync_file, "--max-passes", "1", "--profile", str(out_path)]) == 2
+    records = [json.loads(line) for line in out_path.read_text().splitlines()]
+    meta = records[0]
+    assert meta["type"] == "meta" and meta["schema"] == "repro-obs/1"
+    assert meta["failure"].startswith("BudgetExceeded:")
+    assert "pass budget 1 exceeded" in meta["failure"]
+    # The session still carries real content: counters at minimum.
+    assert any(r["type"] == "counter" for r in records)
+    assert "wrote" in capsys.readouterr().err
+
+
+def test_profile_on_success_has_no_failure_stamp(program_file, tmp_path):
+    import json
+
+    out_path = tmp_path / "ok.jsonl"
+    assert main(["analyze", program_file, "--profile", str(out_path)]) == 0
+    meta = json.loads(out_path.read_text().splitlines()[0])
+    assert "failure" not in meta
+
+
+# -- graph/cssa go through the PFG cache -----------------------------------
+
+
+def test_graph_command_populates_pfg_cache(program_file):
+    from repro.dataflow.cache import GLOBAL_CACHE
+
+    assert len(GLOBAL_CACHE) == 0
+    assert main(["graph", program_file]) == 0
+    assert len(GLOBAL_CACHE) == 1  # ("pfg", digest) entry landed
+
+
+def test_cssa_command_counts_cache_metrics(program_file):
+    from repro import obs
+    from repro.dataflow.cache import GLOBAL_CACHE
+
+    with obs.session() as sess:
+        assert main(["cssa", program_file]) == 0
+    assert len(GLOBAL_CACHE) == 1
+    counters = sess.metrics.as_dict()["counters"]
+    assert counters["cache.pfg.misses"] == 1  # counted, not bypassed
+
+
+# -- batch command ---------------------------------------------------------
+
+
+def test_batch_all_ok_exits_0(program_file, sync_file, capsys):
+    assert main(["batch", program_file, sync_file]) == 0
+    out = capsys.readouterr().out
+    assert "batch summary: 2 task(s)" in out
+    assert "2 ok" in out
+
+
+def test_batch_glob_expansion(tmp_path, capsys):
+    (tmp_path / "a.pcf").write_text(GOOD)
+    (tmp_path / "b.pcf").write_text(SYNC_SRC)
+    assert main(["batch", str(tmp_path / "*.pcf")]) == 0
+    assert "2 task(s)" in capsys.readouterr().out
+
+
+def test_batch_manifest_input(tmp_path, program_file, capsys):
+    listing = tmp_path / "list.txt"
+    listing.write_text(f"# corpus\n{program_file}\n\n{program_file}\n")  # dup deduped
+    assert main(["batch", "--manifest", str(listing)]) == 0
+    assert "1 task(s)" in capsys.readouterr().out
+
+
+def test_batch_no_inputs_exits_1(capsys):
+    assert main(["batch"]) == 1
+    assert "error: no input programs" in capsys.readouterr().err
+
+
+def test_batch_unmatched_glob_exits_1(tmp_path, capsys):
+    assert main(["batch", str(tmp_path / "*.pcf")]) == 1
+    assert "matched no files" in capsys.readouterr().err
+
+
+def test_batch_missing_manifest_exits_1(tmp_path, capsys):
+    assert main(["batch", "--manifest", str(tmp_path / "nope.txt")]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_batch_bad_task_recorded_not_fatal(tmp_path, program_file, capsys):
+    bad = tmp_path / "bad.pcf"
+    bad.write_text("program p\nx = = 1\nend\n")
+    out_path = tmp_path / "batch.jsonl"
+    assert main(["batch", program_file, str(bad), "--out", str(out_path)]) == 2
+    out = capsys.readouterr().out
+    assert "1 error" in out and "1 ok" in out  # healthy task completed
+    from repro.batch import read_manifest
+
+    records = read_manifest(out_path)
+    tasks = [r for r in records if r["type"] == "task"]
+    assert {t["status"] for t in tasks} == {"ok", "error"}
+    assert records[-1]["type"] == "summary" and records[-1]["exit_code"] == 2
+
+
+def test_batch_profile_merges_worker_counters(program_file, sync_file, tmp_path):
+    import json
+
+    out_path = tmp_path / "batch-profile.jsonl"
+    assert main(["batch", program_file, sync_file, "--profile", str(out_path)]) == 0
+    records = [json.loads(line) for line in out_path.read_text().splitlines()]
+    counters = {r["name"]: r["value"] for r in records if r["type"] == "counter"}
+    assert counters["batch.tasks"] == 2
+    assert counters["batch.status.ok"] == 2
+    # fleet-aggregated pipeline counters from the per-task sessions
+    assert counters["solve.runs"] >= 2
+    assert counters["cache.pfg.misses"] >= 2

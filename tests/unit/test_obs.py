@@ -312,3 +312,20 @@ def test_render_tree_elides_long_sibling_runs():
     text = render_tree(tracer, max_children=12)
     assert "more spans" in text
     assert text.count("pass") < 40
+
+
+def test_merge_counters_aggregates_snapshots():
+    """Cross-process aggregation hook: worker counter snapshots (plain
+    dicts) fold into a live registry additively; zeros are skipped."""
+    from repro.obs import NULL_METRICS, Metrics
+
+    m = Metrics()
+    m.inc("solve.runs", 2)
+    m.merge_counters({"solve.runs": 3, "cache.hits": 5, "noise": 0})
+    counters = m.as_dict()["counters"]
+    assert counters["solve.runs"] == 5
+    assert counters["cache.hits"] == 5
+    assert "noise" not in counters  # zero-valued entries create nothing
+    # the disabled singleton swallows merges like every other mutator
+    NULL_METRICS.merge_counters({"x": 1})
+    assert NULL_METRICS.counters == {}
