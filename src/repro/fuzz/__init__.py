@@ -1,0 +1,69 @@
+"""Differential fuzzing for the reaching-definitions pipeline.
+
+The paper's guarantees — every solver computes the same fixpoint, the
+full synchronized system refines the conservative floor, the static In
+sets over-approximate every execution — are exactly the kind of claims
+adversarial testing can attack at scale.  This package turns the seeded
+:mod:`repro.synthetic` generator, the analysis stack, and the dynamic
+self-check into a fuzz loop:
+
+* :mod:`repro.fuzz.oracles` — the pluggable oracle registry
+  (differential, metamorphic, pipeline-invariant, dynamic);
+* :mod:`repro.fuzz.mutate` — semantics-preserving metamorphic
+  transforms whose outputs must keep def-use chains intact;
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging that minimizes a
+  failing program and emits a ready-to-paste pytest regression;
+* :mod:`repro.fuzz.driver` — the seeded campaign runner behind
+  ``repro fuzz`` (budgets, ``repro-fuzz/1`` manifests, exit codes).
+"""
+
+from .driver import (
+    DRILL_SHRINK_FRACTION,
+    SCHEMA,
+    FuzzOptions,
+    FuzzReport,
+    case_generator_config,
+    parse_seed_spec,
+    read_fuzz_manifest,
+    run_campaign,
+    run_case,
+    run_drill,
+)
+from .mutate import MUTATORS, Mutation, apply_mutators, clone_program
+from .oracles import (
+    ORACLES,
+    OracleConfig,
+    OracleFailure,
+    OracleReport,
+    default_oracle_names,
+    run_oracles,
+)
+from .shrink import ShrinkResult, regression_snippet, shrink, stmt_count, well_formed
+
+__all__ = [
+    "DRILL_SHRINK_FRACTION",
+    "SCHEMA",
+    "FuzzOptions",
+    "FuzzReport",
+    "MUTATORS",
+    "Mutation",
+    "ORACLES",
+    "OracleConfig",
+    "OracleFailure",
+    "OracleReport",
+    "ShrinkResult",
+    "apply_mutators",
+    "case_generator_config",
+    "clone_program",
+    "default_oracle_names",
+    "parse_seed_spec",
+    "read_fuzz_manifest",
+    "regression_snippet",
+    "run_campaign",
+    "run_case",
+    "run_drill",
+    "run_oracles",
+    "shrink",
+    "stmt_count",
+    "well_formed",
+]

@@ -1,0 +1,398 @@
+"""Greedy delta-debugging over the mini-PCF AST.
+
+A fuzz counterexample is only useful once a human can read it: the
+shrinker takes a failing program and a *predicate* ("this oracle still
+fails on it") and repeatedly tries structural reductions, keeping any
+candidate that still satisfies the predicate.  Reduction passes, in the
+order tried each round:
+
+1. **drop statements** — ddmin-style chunk removal over every statement
+   list (whole list, halves, quarters, … single statements);
+2. **unwrap constructs** — replace ``if``/``loop``/``while`` with a
+   branch body, splice ``parallel sections`` / ``parallel do`` bodies
+   inline, drop a single section;
+3. **remove events** — delete every ``post``/``wait``/``clear`` of one
+   event at a time (the whole synchronization strand goes or stays —
+   dropping only the post would manufacture a deadlock, which the
+   well-formedness guard rejects anyway);
+4. **simplify expressions** — replace assignment right-hand sides with
+   ``0``, dropping their uses.
+
+Each accepted candidate restarts the scan; rounds repeat until a fixed
+point (no candidate accepted) or ``max_rounds``.  The process is fully
+deterministic — no randomness, a stable traversal order — so a given
+(program, predicate) pair always minimizes to the same result.
+
+**Well-formedness guard.**  Candidates must stay inside the generator's
+contract before the predicate is even asked: the program pretty-prints
+to parseable source that round-trips structurally, the PFG builds and
+passes :func:`repro.pfg.validate_pfg`, and no *new* blocking
+synchronization-lint class (:data:`repro.robust.degrade.BLOCKING_SYNC_ISSUES`)
+appears that the original failing program did not already have.  That
+last clause is what keeps shrinking honest: removing a ``post`` but not
+its ``wait`` would otherwise "reproduce" almost any dynamic failure.
+
+:func:`regression_snippet` renders the minimized program as a
+ready-to-paste pytest test with the In sets pinned — the form the
+``tests/regression/test_fuzz_corpus.py`` corpus uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from ..analysis.synclint import lint_synchronization
+from ..lang import ast, parse_program, pretty
+from ..lang.ast import structurally_equal
+from ..lang.errors import LangError
+from ..obs import get_metrics
+from ..pfg import build_pfg, validate_pfg
+from ..robust.degrade import BLOCKING_SYNC_ISSUES
+from .mutate import _blocks, clone_program
+
+Predicate = Callable[[ast.Program], bool]
+
+
+def stmt_count(program: ast.Program) -> int:
+    """Total number of statements (every AST node, sections included)."""
+    return sum(1 for _ in program.walk())
+
+
+def _measure(program: ast.Program) -> Tuple[int, int]:
+    """Well-founded shrink measure: (statement count, variable reads).
+    Every pass strictly decreases it — drops/unwraps/event removals cut
+    statements, expression simplification cuts reads — so the greedy loop
+    terminates."""
+    reads = 0
+    for stmt in program.walk():
+        if isinstance(stmt, ast.Assign):
+            reads += len(stmt.expr.variables())
+        elif isinstance(stmt, (ast.If, ast.While)):
+            reads += len(stmt.cond.variables())
+    return (stmt_count(program), reads)
+
+
+def blocking_issue_kinds(program: ast.Program) -> FrozenSet:
+    """The blocking synchronization-lint classes present in ``program``
+    (empty when the graph does not even build)."""
+    try:
+        graph = build_pfg(program)
+    except Exception:
+        return frozenset()
+    return frozenset(
+        i.kind for i in lint_synchronization(graph) if i.kind in BLOCKING_SYNC_ISSUES
+    )
+
+
+def well_formed(
+    program: ast.Program, baseline_blocking: FrozenSet = frozenset()
+) -> bool:
+    """Generator-contract check for shrink candidates (module docstring)."""
+    if not program.body:
+        return False
+    try:
+        source = pretty(program)
+        reparsed = parse_program(source)
+    except (LangError, TypeError):
+        return False
+    if not structurally_equal(program, reparsed):
+        return False
+    try:
+        graph = build_pfg(program)
+        validate_pfg(graph)
+    except Exception:
+        return False
+    blocking = frozenset(
+        i.kind for i in lint_synchronization(graph) if i.kind in BLOCKING_SYNC_ISSUES
+    )
+    return blocking <= baseline_blocking
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one :func:`shrink` run."""
+
+    program: ast.Program
+    original_stmts: int
+    shrunk_stmts: int
+    rounds: int
+    attempts: int
+    accepted: int
+
+    @property
+    def reduction(self) -> float:
+        """Remaining fraction: 0.1 = shrunk to 10% of the original."""
+        if self.original_stmts == 0:
+            return 1.0
+        return self.shrunk_stmts / self.original_stmts
+
+    def format(self) -> str:
+        return (
+            f"shrunk {self.original_stmts} → {self.shrunk_stmts} statements "
+            f"({self.reduction:.0%}) in {self.rounds} round(s), "
+            f"{self.attempts} candidate(s) tried, {self.accepted} accepted"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+
+def _chunk_spans(n: int) -> List[Tuple[int, int]]:
+    """ddmin-style deletion spans for a list of length ``n``: the whole
+    list, then halves, quarters, … down to single elements; deduplicated,
+    larger deletions first."""
+    spans: List[Tuple[int, int]] = []
+    seen = set()
+    size = n
+    while size >= 1:
+        for start in range(0, n, size):
+            span = (start, min(start + size, n))
+            if span not in seen:
+                seen.add(span)
+                spans.append(span)
+        size //= 2
+    return spans
+
+
+def _drop_statement_candidates(program: ast.Program) -> List[ast.Program]:
+    out: List[ast.Program] = []
+    n_blocks = len(_blocks(program))
+    for k in range(n_blocks):
+        length = len(_blocks(program)[k])
+        for start, end in _chunk_spans(length):
+            clone, _ = clone_program(program)
+            block = _blocks(clone)[k]
+            del block[start:end]
+            out.append(clone)
+    return out
+
+
+def _unwrap_candidates(program: ast.Program) -> List[ast.Program]:
+    """Construct-level reductions at every block position holding a
+    compound statement."""
+    out: List[ast.Program] = []
+    n_blocks = len(_blocks(program))
+    for k in range(n_blocks):
+        for i, stmt in enumerate(_blocks(program)[k]):
+            replacements: List[Optional[int]] = []
+            if isinstance(stmt, ast.If):
+                replacements = [0, 1] if stmt.else_body else [0]
+            elif isinstance(stmt, (ast.Loop, ast.While, ast.ParallelDo)):
+                replacements = [0]
+            elif isinstance(stmt, ast.ParallelSections):
+                replacements = [0] + list(range(1, len(stmt.sections) + 1))
+            for which in replacements:
+                clone, _ = clone_program(program)
+                block = _blocks(clone)[k]
+                target = block[i]
+                if isinstance(target, ast.If):
+                    body = target.then_body if which == 0 else target.else_body
+                    block[i : i + 1] = body
+                elif isinstance(target, (ast.Loop, ast.While, ast.ParallelDo)):
+                    block[i : i + 1] = target.body
+                elif isinstance(target, ast.ParallelSections):
+                    if which == 0:  # splice all sections sequentially
+                        spliced: List[ast.Stmt] = []
+                        for sec in target.sections:
+                            spliced.extend(sec.body)
+                        block[i : i + 1] = spliced
+                    else:  # drop section (which - 1), keep the construct
+                        if len(target.sections) < 2:
+                            continue
+                        del target.sections[which - 1]
+                out.append(clone)
+    return out
+
+
+def _remove_event_candidates(program: ast.Program) -> List[ast.Program]:
+    events = [
+        e
+        for e in dict.fromkeys(
+            s.event
+            for s in program.walk()
+            if isinstance(s, (ast.Post, ast.Wait, ast.Clear))
+        )
+    ]
+    out: List[ast.Program] = []
+    for event in events:
+        clone, _ = clone_program(program)
+
+        def strip(stmts: List[ast.Stmt]) -> None:
+            stmts[:] = [
+                s
+                for s in stmts
+                if not (
+                    isinstance(s, (ast.Post, ast.Wait, ast.Clear))
+                    and s.event == event
+                )
+            ]
+
+        for block in _blocks(clone):
+            strip(block)
+        clone.events = [e for e in clone.events if e != event]
+        out.append(clone)
+    return out
+
+
+def _simplify_expr_candidates(program: ast.Program) -> List[ast.Program]:
+    out: List[ast.Program] = []
+    n_blocks = len(_blocks(program))
+    for k in range(n_blocks):
+        for i, stmt in enumerate(_blocks(program)[k]):
+            if isinstance(stmt, ast.Assign) and stmt.expr.variables():
+                clone, _ = clone_program(program)
+                target = _blocks(clone)[k][i]
+                assert isinstance(target, ast.Assign)
+                target.expr = ast.IntLit(0)
+                out.append(clone)
+    return out
+
+
+_PASSES: Tuple[Callable[[ast.Program], List[ast.Program]], ...] = (
+    _drop_statement_candidates,
+    _unwrap_candidates,
+    _remove_event_candidates,
+    _simplify_expr_candidates,
+)
+
+
+# ---------------------------------------------------------------------------
+# The loop
+# ---------------------------------------------------------------------------
+
+
+def shrink(
+    program: ast.Program,
+    predicate: Predicate,
+    max_rounds: int = 10,
+    max_attempts: int = 5000,
+) -> ShrinkResult:
+    """Greedily minimize ``program`` while ``predicate`` holds.
+
+    ``predicate`` receives candidate programs (already well-formed per
+    :func:`well_formed`) and returns True when the failure still
+    reproduces.  The original program is returned unchanged when the
+    predicate does not even hold on it.
+    """
+    metrics = get_metrics()
+    original = stmt_count(program)
+    baseline_blocking = blocking_issue_kinds(program)
+    work, _ = clone_program(program)
+    if not predicate(work):
+        return ShrinkResult(
+            program=work,
+            original_stmts=original,
+            shrunk_stmts=original,
+            rounds=0,
+            attempts=1,
+            accepted=0,
+        )
+    attempts = 1
+    accepted = 0
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        improved = False
+        for gen in _PASSES:
+            # Re-scan the pass after every acceptance: candidate indices
+            # refer to the current work program.
+            scanning = True
+            while scanning and attempts < max_attempts:
+                scanning = False
+                for candidate in gen(work):
+                    if _measure(candidate) >= _measure(work):
+                        continue
+                    if not well_formed(candidate, baseline_blocking):
+                        continue
+                    attempts += 1
+                    if metrics.enabled:
+                        metrics.inc("fuzz.shrink.attempts")
+                    if predicate(candidate):
+                        work = candidate
+                        accepted += 1
+                        improved = True
+                        scanning = True
+                        if metrics.enabled:
+                            metrics.inc("fuzz.shrink.accepted")
+                        break
+                    if attempts >= max_attempts:
+                        break
+        if not improved:
+            break
+    # Cosmetic fixed-point: drop declared-but-unused events.
+    used = {
+        s.event
+        for s in work.walk()
+        if isinstance(s, (ast.Post, ast.Wait, ast.Clear))
+    }
+    pruned = [e for e in work.events if e in used]
+    if pruned != work.events:
+        candidate, _ = clone_program(work)
+        candidate.events = pruned
+        if well_formed(candidate, baseline_blocking) and predicate(candidate):
+            work = candidate
+    return ShrinkResult(
+        program=work,
+        original_stmts=original,
+        shrunk_stmts=stmt_count(work),
+        rounds=rounds,
+        attempts=attempts,
+        accepted=accepted,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Regression snippet
+# ---------------------------------------------------------------------------
+
+
+def regression_snippet(
+    program: ast.Program,
+    oracle: str,
+    test_name: str,
+    note: str = "",
+) -> str:
+    """A ready-to-paste pytest regression test for a minimized program.
+
+    Pins the current (assumed-fixed) In sets of every block so the test
+    fails loudly if the analysis drifts, and re-runs the originally
+    failing oracle to assert it stays green.
+    """
+    from .. import analyze  # deferred: repro/__init__ imports this package
+
+    result = analyze(program, cache=False)
+    golden = {
+        node.name: sorted(result.in_names(node))
+        for node in result.graph.document_order()
+        if result.in_names(node)
+    }
+    source = pretty(program)
+    lines = [
+        "from repro import analyze",
+        "from repro.fuzz import run_oracles",
+        "from repro.lang import parse_program",
+        "",
+        "",
+        f"def {test_name}():",
+    ]
+    if note:
+        lines.append(f"    # {note}")
+    lines.append('    source = """\\')
+    lines.extend(source.rstrip("\n").split("\n"))
+    lines.append('"""')
+    lines.append("    program = parse_program(source)")
+    lines.append("    result = analyze(program, cache=False)")
+    lines.append("    golden_in = {")
+    for name, defs in golden.items():
+        lines.append(f"        {name!r}: {defs!r},")
+    lines.append("    }")
+    lines.append("    for name, defs in golden_in.items():")
+    lines.append("        assert sorted(result.in_names(name)) == defs, name")
+    lines.append(
+        f"    report = run_oracles(program, names=({oracle!r},))"
+    )
+    lines.append("    assert report.ok, report.format()")
+    return "\n".join(lines) + "\n"

@@ -27,6 +27,14 @@ Commands
                        JSONL manifest (``--out``) and print a
                        deterministic summary table
                        (:mod:`repro.batch`, ``docs/batch.md``).
+``fuzz``             — differential fuzzing campaign: generate seeded
+                       programs (``--seeds A:B`` inclusive), run the
+                       oracle battery (cross-solver, cross-system,
+                       pipeline-invariant, metamorphic; ``--check``
+                       adds the dynamic self-check and injected-fault
+                       shrink drills), minimize failures, and stream a
+                       ``repro-fuzz/1`` manifest (``--out``)
+                       (:mod:`repro.fuzz`, ``docs/testing.md``).
 
 Observability flags (``analyze``/``report``/``run``; ``stats`` implies
 ``--trace``): ``--trace`` appends the phase-time tree to the command's
@@ -51,10 +59,12 @@ code  meaning
 ====  ===========================================================
 0     success (for ``check``: no soundness violations)
 1     usage / front-end / I/O error (bad syntax, missing file;
-      for ``batch``: no inputs, unreadable ``--manifest``)
+      for ``batch``: no inputs, unreadable ``--manifest``; for
+      ``fuzz``: a malformed ``--seeds`` spec)
 2     analysis failure (non-convergence, budget exhaustion,
       snapshot cap, ``check`` soundness violations; for
-      ``batch``: any task recorded a nonzero code)
+      ``batch``: any task recorded a nonzero code; for ``fuzz``:
+      any oracle mismatch or undetected/unshrinkable drill)
 3     graph invariant violation (:class:`PFGInvariantError`)
 4     dynamic failure (``run``: interpreter deadlock — also the
       per-task code ``batch --run`` records for a deadlocking or
@@ -392,6 +402,41 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from ..fuzz import FuzzOptions, ORACLES, parse_seed_spec, run_campaign
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+    if args.oracles:
+        unknown = [n for n in args.oracles.split(",") if n not in ORACLES]
+        if unknown:
+            sys.stderr.write(
+                f"error: unknown oracle(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(ORACLES)}\n"
+            )
+            return 1
+    options = FuzzOptions(
+        seeds=seeds,
+        target_stmts=args.target_stmts,
+        oracles=tuple(args.oracles.split(",")) if args.oracles else None,
+        check=args.check,
+        drills=args.drills,
+        shrink_failures=not args.no_shrink,
+        deadline_s=args.deadline,
+        max_stmts=args.max_stmts,
+        backend=args.backend,
+        max_loop_iters=args.max_loop_iters,
+    )
+    report = run_campaign(options, manifest_path=args.out)
+    sys.stdout.write(report.render_summary())
+    if args.out:
+        sys.stderr.write(f"wrote manifest to {args.out}\n")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -506,6 +551,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     _add_budget_flags(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign over generated programs",
+    )
+    p.add_argument(
+        "--seeds",
+        default="0:49",
+        metavar="SPEC",
+        help="seed spec: inclusive ranges and singles, comma-separated "
+        "(e.g. 0:199 or 0:9,100)",
+    )
+    p.add_argument(
+        "--target-stmts",
+        type=int,
+        default=30,
+        metavar="N",
+        help="mean generated-program size (spread per seed)",
+    )
+    p.add_argument(
+        "--oracles",
+        metavar="NAMES",
+        help="comma-separated oracle names (default: registry default; "
+        "--check adds dynamic-selfcheck)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="full verification: dynamic self-check oracle plus "
+        "injected-fault shrink drills",
+    )
+    p.add_argument(
+        "--drills",
+        type=int,
+        default=2,
+        metavar="N",
+        help="injected-fault drills in --check mode",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record failing cases without minimizing them",
+    )
+    p.add_argument(
+        "--max-stmts",
+        type=int,
+        metavar="N",
+        help="campaign statement budget (total generated statements)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="OUT.jsonl",
+        help="stream the repro-fuzz/1 JSONL manifest here",
+    )
+    p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
+    p.add_argument("--max-loop-iters", type=int, default=2)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="campaign wall-clock budget; remaining seeds are skipped",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "stats", help="run the whole pipeline traced; print the phase-time tree"

@@ -1,0 +1,22 @@
+"""The full fuzz campaign as a pytest entry point.
+
+Excluded from tier-1 by the ``fuzz`` marker (see ``pyproject.toml``);
+run explicitly with ``pytest -m fuzz`` or via the ``fuzz-smoke`` CI job
+(which uses the ``repro fuzz`` CLI directly).
+"""
+
+import pytest
+
+from repro.fuzz import FuzzOptions, run_campaign
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_campaign_200_seeds_is_clean():
+    report = run_campaign(FuzzOptions(seeds=tuple(range(200))))
+    assert report.exit_code == 0, report.render_summary()
+
+
+def test_check_campaign_with_drills_is_clean():
+    report = run_campaign(FuzzOptions(seeds=tuple(range(25)), check=True))
+    assert report.exit_code == 0, report.render_summary()

@@ -1,0 +1,206 @@
+"""Campaign driver (:mod:`repro.fuzz.driver`) and the ``repro fuzz``
+CLI: seed specs, manifests, budgets, drills, counters, exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    DRILL_SHRINK_FRACTION,
+    SCHEMA,
+    FuzzOptions,
+    case_generator_config,
+    parse_seed_spec,
+    read_fuzz_manifest,
+    run_campaign,
+    run_case,
+    run_drill,
+)
+from repro.tools.cli import main as cli_main
+
+
+def test_parse_seed_spec():
+    assert parse_seed_spec("0:4") == (0, 1, 2, 3, 4)  # inclusive
+    assert parse_seed_spec("7") == (7,)
+    assert parse_seed_spec("0:2,9,20:21") == (0, 1, 2, 9, 20, 21)
+    assert parse_seed_spec("3,3,3") == (3,)  # deduplicated, order kept
+    with pytest.raises(ValueError):
+        parse_seed_spec("5:1")
+    with pytest.raises(ValueError):
+        parse_seed_spec("")
+
+
+def test_case_generator_config_is_deterministic_and_varied():
+    cfgs = [case_generator_config(s, 30) for s in range(12)]
+    assert cfgs == [case_generator_config(s, 30) for s in range(12)]
+    assert len({c.target_stmts for c in cfgs}) > 1
+    assert {c.with_sync for c in cfgs} == {True, False}
+
+
+def test_clean_campaign_and_manifest(tmp_path):
+    out = tmp_path / "fuzz.jsonl"
+    report = run_campaign(FuzzOptions(seeds=tuple(range(6))), manifest_path=out)
+    assert report.exit_code == 0
+    assert len(report.cases()) == 6
+    assert not report.failures()
+
+    records = read_fuzz_manifest(out)
+    assert records[0]["schema"] == SCHEMA
+    assert records[0]["options"]["seeds"] == list(range(6))
+    cases = [r for r in records if r["type"] == "case"]
+    assert [c["seed"] for c in cases] == list(range(6))
+    assert all(c["status"] == "ok" and c["digest"] for c in cases)
+    summary = records[-1]
+    assert summary["type"] == "summary"
+    assert summary["exit_code"] == 0
+    assert summary["by_status"] == {"ok": 6}
+
+
+def test_campaign_is_deterministic_modulo_wall_times(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    opts = FuzzOptions(seeds=tuple(range(5)))
+    run_campaign(opts, manifest_path=a)
+    run_campaign(opts, manifest_path=b)
+
+    def strip(path):
+        out = []
+        for record in read_fuzz_manifest(path):
+            record.pop("wall_s", None)
+            out.append(json.dumps(record, sort_keys=True))
+        return out
+
+    assert strip(a) == strip(b)
+
+
+def test_failing_oracle_shrinks_and_pins(monkeypatch, tmp_path):
+    """A planted always-failing oracle drives the full failure path:
+    case marked failed, program shrunk, snippet attached, exit code 2."""
+    from repro.fuzz import oracles as oracles_mod
+
+    name = "always-fails"
+
+    @oracles_mod.register(name)
+    def _always_fails(program, cfg):
+        return [oracles_mod.OracleFailure(name, "planted failure")]
+
+    try:
+        out = tmp_path / "fail.jsonl"
+        report = run_campaign(
+            FuzzOptions(seeds=(0,), oracles=(name,)), manifest_path=out
+        )
+        assert report.exit_code == 2
+        [case] = report.cases()
+        assert case["status"] == "failed"
+        assert case["failures"] == [{"oracle": name, "detail": "planted failure"}]
+        shrunk = case["shrunk"]
+        assert shrunk["stmts"] <= case["stmts"]
+        assert "def test_fuzz_seed0_always_fails" in shrunk["snippet"]
+        assert "program" in shrunk["source"]
+        summary = read_fuzz_manifest(out)[-1]
+        assert summary["exit_code"] == 2
+    finally:
+        del oracles_mod.ORACLES[name]
+
+
+def test_no_shrink_option(tmp_path):
+    from repro.fuzz import oracles as oracles_mod
+
+    name = "always-fails-2"
+
+    @oracles_mod.register(name)
+    def _always_fails(program, cfg):
+        return [oracles_mod.OracleFailure(name, "planted")]
+
+    try:
+        report = run_campaign(
+            FuzzOptions(seeds=(0,), oracles=(name,), shrink_failures=False)
+        )
+        assert report.exit_code == 2
+        assert report.cases()[0]["shrunk"] is None
+    finally:
+        del oracles_mod.ORACLES[name]
+
+
+def test_statement_budget_skips_remaining_seeds():
+    report = run_campaign(FuzzOptions(seeds=tuple(range(10)), max_stmts=1))
+    cases = report.cases()
+    assert cases[0]["status"] == "ok"  # first case always runs
+    skipped = report.skipped()
+    assert skipped and all("budget" in r["reason"] for r in skipped)
+    # Budget exhaustion is not a failure.
+    assert report.exit_code == 0
+
+
+def test_drill_detects_and_shrinks():
+    record = run_drill(0, FuzzOptions())
+    assert record["status"] == "ok", record["failures"]
+    assert record["shrunk"]["reduction"] <= DRILL_SHRINK_FRACTION
+    # Deterministic for the fixed seed.
+    again = run_drill(0, FuzzOptions())
+    assert again["shrunk"]["source"] == record["shrunk"]["source"]
+
+
+def test_run_case_record_shape():
+    record = run_case(0, FuzzOptions())
+    assert record["type"] == "case"
+    assert record["status"] == "ok"
+    assert record["stmts"] >= 1
+    assert set(record["oracles"]) == {
+        "solver-agreement",
+        "system-bounds",
+        "pipeline-invariants",
+        "metamorphic",
+    }
+
+
+def test_campaign_metrics():
+    from repro import obs
+
+    with obs.session() as session:
+        run_campaign(FuzzOptions(seeds=(0, 1)))
+        counters = {k: c.value for k, c in session.metrics.counters.items()}
+    assert counters.get("fuzz.cases") == 2
+    assert counters.get("fuzz.status.ok") == 2
+    assert counters.get("fuzz.oracle_runs", 0) >= 2
+
+
+def test_read_fuzz_manifest_rejects_other_schemas(tmp_path):
+    path = tmp_path / "not.jsonl"
+    path.write_text(json.dumps({"type": "meta", "schema": "repro-batch/1"}) + "\n")
+    with pytest.raises(ValueError, match="repro-fuzz/1"):
+        read_fuzz_manifest(path)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_fuzz_clean(tmp_path, capsys):
+    out = tmp_path / "cli.jsonl"
+    code = cli_main(["fuzz", "--seeds", "0:3", "--out", str(out)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "4 case(s)" in captured.out
+    assert read_fuzz_manifest(out)[-1]["exit_code"] == 0
+
+
+def test_cli_fuzz_bad_seed_spec(capsys):
+    assert cli_main(["fuzz", "--seeds", "9:1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_fuzz_unknown_oracle(capsys):
+    assert cli_main(["fuzz", "--seeds", "0", "--oracles", "nope"]) == 1
+    assert "nope" in capsys.readouterr().err
+
+
+def test_cli_fuzz_check_mode_runs_drills(tmp_path):
+    out = tmp_path / "check.jsonl"
+    code = cli_main(
+        ["fuzz", "--seeds", "0:1", "--check", "--drills", "1", "--out", str(out)]
+    )
+    assert code == 0
+    records = read_fuzz_manifest(out)
+    drills = [r for r in records if r["type"] == "drill"]
+    assert len(drills) == 1 and drills[0]["status"] == "ok"
+    assert "dynamic-selfcheck" in records[0]["options"]["oracles"]

@@ -1,0 +1,127 @@
+"""Delta-debugging shrinker (:mod:`repro.fuzz.shrink`): minimized
+programs satisfy the failing predicate, stay well-formed, shrink
+deterministically, and the emitted regression snippet is runnable
+pytest source.
+"""
+
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    regression_snippet,
+    shrink,
+    stmt_count,
+    well_formed,
+)
+from repro.lang import ast, parse_program, pretty
+from repro.synthetic import GeneratorConfig, generate_program
+
+
+def _program(seed, target=40):
+    return generate_program(
+        seed, GeneratorConfig(target_stmts=target, p_parallel=0.3), name=f"s{seed}"
+    )
+
+
+def _uses_var(name):
+    def predicate(program):
+        for stmt in program.walk():
+            if isinstance(stmt, ast.Assign) and name in stmt.expr.variables():
+                return True
+        return False
+
+    return predicate
+
+
+def test_shrink_to_single_interesting_statement():
+    program = _program(0, target=40)
+    # Find a variable actually read somewhere, then shrink to "still reads it".
+    read = next(
+        v
+        for stmt in program.walk()
+        if isinstance(stmt, ast.Assign)
+        for v in stmt.expr.variables()
+    )
+    result = shrink(program, _uses_var(read))
+    assert _uses_var(read)(result.program)
+    assert well_formed(result.program)
+    assert result.shrunk_stmts <= result.original_stmts
+    assert result.shrunk_stmts <= 3
+
+
+def test_shrink_is_deterministic():
+    program = _program(5, target=60)
+    read = next(
+        v
+        for stmt in program.walk()
+        if isinstance(stmt, ast.Assign)
+        for v in stmt.expr.variables()
+    )
+    a = shrink(program, _uses_var(read))
+    b = shrink(program, _uses_var(read))
+    assert pretty(a.program) == pretty(b.program)
+    assert (a.rounds, a.attempts, a.accepted) == (b.rounds, b.attempts, b.accepted)
+
+
+def test_shrink_never_accepts_ill_formed_candidates():
+    program = _program(3, target=30)
+    seen = []
+
+    def predicate(candidate):
+        seen.append(candidate)
+        return True  # everything "fails": shrinker drives toward minimal
+
+    result = shrink(program, predicate)
+    for candidate in seen:
+        assert well_formed(candidate), pretty(candidate)
+    assert well_formed(result.program)
+    assert result.shrunk_stmts >= 1  # programs never shrink to an empty body
+
+
+def test_shrink_result_reduction_and_format():
+    result = ShrinkResult(
+        program=_program(0, target=10),
+        original_stmts=50,
+        shrunk_stmts=5,
+        rounds=2,
+        attempts=40,
+        accepted=7,
+    )
+    assert result.reduction == 0.1
+    assert "50" in result.format() and "5" in result.format()
+
+
+def test_regression_snippet_is_executable_pytest_source():
+    program = _program(1, target=15)
+    snippet = regression_snippet(
+        program, oracle="pipeline-invariants", test_name="test_pinned_example"
+    )
+    namespace = {}
+    exec(compile(snippet, "<snippet>", "exec"), namespace)
+    namespace["test_pinned_example"]()
+
+
+def test_well_formed_rejects_unparseable_structures():
+    program = _program(2, target=10)
+    assert well_formed(program)
+    empty = ast.Program(name="empty", events=[], body=[])
+    assert not well_formed(empty)
+
+
+def test_stmt_count_counts_nested_statements():
+    program = parse_program(
+        """program p
+  loop
+    x = 1
+    parallel sections
+      section A
+        y = x
+      section B
+        z = 2
+    end parallel sections
+  endloop
+end program
+"""
+    )
+    # 5 leaf statements plus the loop and parallel-sections constructs:
+    # the measure counts every Stmt node, so unwrapping a construct is
+    # itself progress even when its body survives intact.
+    assert stmt_count(program) == 7
