@@ -44,6 +44,7 @@ def analyze(
     preserved: str = "approx",
     budget=None,
     cache: bool = True,
+    record_provenance: bool = False,
 ) -> ReachingDefsResult:
     """Analyze ``program`` with the most precise applicable equation system.
 
@@ -65,6 +66,11 @@ def analyze(
     :func:`repro.robust.analyze_with_degradation` for the fall-back
     ladder that degrades instead of failing).
 
+    ``record_provenance=True`` makes the solver derive a justification
+    graph once converged and attach it as ``result.provenance``
+    (:mod:`repro.provenance` — the substrate of ``repro explain`` and
+    ``repro races --explain``).  Off by default and off-path when off.
+
     ``cache=True`` (default) memoizes by program digest in
     :data:`repro.dataflow.cache.GLOBAL_CACHE`: a warm call on an
     unchanged program returns the cached result with **zero** solver
@@ -77,7 +83,15 @@ def analyze(
     use_cache = cache and budget is None and GLOBAL_CACHE.enabled
     key = None
     if use_cache:
-        key = ("analyze", program_digest(program), backend, order, solver, preserved)
+        key = (
+            "analyze",
+            program_digest(program),
+            backend,
+            order,
+            solver,
+            preserved,
+            record_provenance,
+        )
         # Results are only valid for the exact AST analyzed (PFG nodes
         # hold statement objects; the interpreter matches by identity —
         # see cached_build_pfg), so a hit from a different parse of the
@@ -95,11 +109,12 @@ def analyze(
     if uses_sync:
         result = solve_synch(
             graph, backend=backend, order=order, solver=solver, preserved=preserved,
-            budget=budget,
+            budget=budget, record_provenance=record_provenance,
         )
     elif uses_parallel:
         result = solve_parallel(
-            graph, backend=backend, order=order, solver=solver, budget=budget
+            graph, backend=backend, order=order, solver=solver, budget=budget,
+            record_provenance=record_provenance,
         )
     else:
         if solver == "stabilized":
@@ -107,7 +122,8 @@ def analyze(
             # chaotic solver already yields the stabilized answer.
             solver = "round-robin"
         result = solve_sequential(
-            graph, backend=backend, order=order, solver=solver, budget=budget
+            graph, backend=backend, order=order, solver=solver, budget=budget,
+            record_provenance=record_provenance,
         )
     if key is not None:
         GLOBAL_CACHE.put(key, result)

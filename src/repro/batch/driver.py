@@ -25,10 +25,12 @@ Guarantees, per task:
   down the :mod:`repro.robust.degrade` ladder instead of failing, and
   the record carries the :class:`~repro.robust.degrade.DegradationRecord`;
 * **metrics merged** — each worker runs under its own observability
-  session and ships its counter totals back; the parent merges them
-  (:meth:`repro.obs.Metrics.merge_counters`) so ``cache.*`` / ``solve.*``
-  counters aggregate across the fleet, plus ``batch.tasks`` /
-  ``batch.status.<status>`` rollups.
+  session and ships its full metrics snapshot back (counters *and*
+  gauges/histograms with their sample reservoirs); the parent folds it
+  in (:meth:`repro.obs.Metrics.merge`) so fleet-wide ``cache.*`` /
+  ``solve.*`` counters and latency percentiles read as if the work had
+  run in-process, plus ``batch.tasks`` / ``batch.status.<status>``
+  rollups.
 
 Results stream to a ``repro-batch/1`` JSONL manifest as they complete
 (:mod:`repro.batch.manifest`) and the returned :class:`BatchReport`
@@ -182,9 +184,12 @@ def run_task(path: str, options: BatchOptions) -> Dict[str, object]:
             record["error"] = str(err)
     record["code"] = TASK_EXIT_CODES[str(record["status"])]
     record["wall_s"] = round(time.perf_counter() - t0, 6)
-    record["counters"] = {
-        name: c.value for name, c in sorted(sess.metrics.counters.items()) if c.value
-    }
+    state = sess.metrics.export_state()
+    # ``counters`` stays a top-level field (older manifest consumers read
+    # it); gauges/histograms ride in ``metrics`` for the full-fidelity
+    # merge on the parent side.
+    record["counters"] = state["counters"]
+    record["metrics"] = {"gauges": state["gauges"], "histograms": state["histograms"]}
     return record
 
 
@@ -207,6 +212,7 @@ def _crash_record(path: str, err: BaseException) -> Dict[str, object]:
         "interp": None,
         "wall_s": 0.0,
         "counters": {},
+        "metrics": {},
     }
 
 
@@ -267,7 +273,14 @@ def run_batch(
         if metrics.enabled:
             metrics.inc("batch.tasks")
             metrics.inc(f"batch.status.{record['status']}")
-            metrics.merge_counters(record.get("counters") or {})
+            worker_metrics = record.get("metrics") or {}
+            metrics.merge(
+                {
+                    "counters": record.get("counters") or {},
+                    "gauges": worker_metrics.get("gauges") or {},
+                    "histograms": worker_metrics.get("histograms") or {},
+                }
+            )
 
     try:
         with tracer.span("batch", workers=workers, tasks=len(paths)):

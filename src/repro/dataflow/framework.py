@@ -47,6 +47,24 @@ class EquationSystem(Generic[N]):
         """An immutable view of current state (for per-pass traces); optional."""
         return None
 
+    # -- provenance protocol (opt-in; see repro.provenance) -----------------
+
+    #: When True, every solver calls :meth:`record_justifications` once
+    #: after convergence (and never during iteration — recording is a pure
+    #: function of the converged state, so all solvers that reach the same
+    #: fixpoint record identical justifications).  The flag is read with
+    #: one ``getattr`` per solve, so the disabled default costs nothing.
+    wants_provenance: bool = False
+
+    def record_justifications(self) -> object:
+        """Derive and retain the justification graph of the current
+        (converged) state; returns it.  Systems that set
+        ``wants_provenance`` must implement this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} set wants_provenance but does not "
+            "implement record_justifications()"
+        )
+
 
 @dataclass
 class SolveStats:

@@ -354,6 +354,9 @@ def solve_scc(
                         "the system's dependents() under-approximates its reads"
                     )
         stats.converged = True
+        from .solver import _finalize_provenance  # deferred: avoid import cycle
+
+        _finalize_provenance(system, stats)
         span.annotate(**stats.as_dict())
     from .solver import _record_solver_metrics  # deferred: avoid import cycle
 

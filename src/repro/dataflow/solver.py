@@ -108,6 +108,31 @@ def _record_solver_metrics(solver: str, order_name: str, stats: SolveStats) -> N
     m.inc(f"solve.{solver}.runs")
 
 
+def _finalize_provenance(system, stats: SolveStats) -> None:
+    """Post-convergence provenance hook, shared by every solver.
+
+    When the system opted in (``wants_provenance`` — see
+    :class:`~repro.dataflow.framework.EquationSystem`), derive its
+    justification graph from the converged state under a
+    ``provenance-record`` tracer span.  Deriving *after* convergence
+    (never during iteration) keeps the recording a pure function of the
+    fixpoint, so the stabilized and SCC engines — which compute the same
+    fixpoint — record identical justifications; the disabled path is a
+    single ``getattr`` per solve.
+    """
+    if not getattr(system, "wants_provenance", False):
+        return
+    tracer = get_tracer()
+    with tracer.span("provenance-record") as span:
+        prov = system.record_justifications()
+        if tracer.enabled:
+            span.annotate(facts=len(prov))
+    m = get_metrics()
+    if m.enabled:
+        m.inc("provenance.records")
+        m.inc("provenance.facts", len(prov))
+
+
 def solve_round_robin(
     system: EquationSystem[N],
     order: Optional[Sequence[N]] = None,
@@ -167,6 +192,7 @@ def solve_round_robin(
                 stats.changing_passes += 1
             else:
                 stats.converged = True
+                _finalize_provenance(system, stats)
                 span.annotate(**stats.as_dict())
                 _record_solver_metrics("round-robin", order_name, stats)
                 return stats
@@ -232,6 +258,7 @@ def solve_worklist(
                         queued.add(dep)
                         queue.append(dep)
         stats.converged = True
+        _finalize_provenance(system, stats)
         span.annotate(**stats.as_dict())
     _record_solver_metrics("worklist", order_name, stats)
     return stats
@@ -338,6 +365,7 @@ def solve_stabilized(
             current = system.snapshot()
             if current == history[-1]:
                 stats.converged = True
+                _finalize_provenance(system, stats)
                 span.annotate(rounds=round_index + 1, **stats.as_dict())
                 _record_solver_metrics("stabilized", order_name, stats)
                 return stats
@@ -351,6 +379,7 @@ def solve_stabilized(
                 sweep_to_fixpoint(system.update_flow, "flow")
                 stats.order += "+cycle"
                 stats.converged = True
+                _finalize_provenance(system, stats)
                 span.annotate(rounds=round_index + 1, cycle=True, **stats.as_dict())
                 _record_solver_metrics("stabilized", order_name, stats)
                 return stats

@@ -134,7 +134,11 @@ def default_oracle_names(dynamic: bool = False) -> Tuple[str, ...]:
 
 
 def _solve_precise(
-    graph, backend: str, solver: str = "stabilized", preserved: str = "approx"
+    graph,
+    backend: str,
+    solver: str = "stabilized",
+    preserved: str = "approx",
+    record_provenance: bool = False,
 ) -> ReachingDefsResult:
     """The most precise applicable system, mirroring :func:`repro.analyze`
     (which is bypassed here: oracles want explicit solver control and no
@@ -142,13 +146,23 @@ def _solve_precise(
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
     uses_parallel = bool(graph.forks) or bool(graph.pardos)
     if uses_sync:
-        return solve_synch(graph, backend=backend, solver=solver, preserved=preserved)
+        return solve_synch(
+            graph,
+            backend=backend,
+            solver=solver,
+            preserved=preserved,
+            record_provenance=record_provenance,
+        )
     if uses_parallel:
-        return solve_parallel(graph, backend=backend, solver=solver)
+        return solve_parallel(
+            graph, backend=backend, solver=solver, record_provenance=record_provenance
+        )
     if solver == "stabilized":
         # Sequential system: chaotic iteration is already deterministic.
         solver = "round-robin"
-    return solve_sequential(graph, backend=backend, solver=solver)
+    return solve_sequential(
+        graph, backend=backend, solver=solver, record_provenance=record_provenance
+    )
 
 
 def _trim(failures: List[OracleFailure], total: int) -> List[OracleFailure]:
@@ -390,6 +404,60 @@ def metamorphic(program: ast.Program, cfg: OracleConfig) -> List[OracleFailure]:
             if len(failures) < MAX_DETAILS:
                 failures.append(OracleFailure("metamorphic", detail))
     return _trim(failures, mismatches)
+
+
+@register("provenance-chains")
+def provenance_chains(program: ast.Program, cfg: OracleConfig) -> List[OracleFailure]:
+    """The justification graph explains the fixpoint it annotates.
+
+    Three laws, cross-checked against the ud-chains the optimization
+    clients actually consume:
+
+    * the stabilized fixpoint is fully *supported* — every In/Out fact
+      has a derivation from some gen root (an unsupported fact would mean
+      the solver kept a definition alive that no birth site feeds);
+    * every inflowing ud-chain definition has a chain that starts with a
+      ``gen`` step at its defining node and ends at the use's node;
+    * the SCC engine yields the *identical* canonical justification graph
+      (provenance must not depend on the visit schedule).
+    """
+    base = _solve_precise(build_pfg(program), cfg.backend, record_provenance=True)
+    prov = base.provenance
+    failures: List[OracleFailure] = []
+    total = 0
+
+    def fail(detail: str) -> None:
+        nonlocal total
+        total += 1
+        if len(failures) < MAX_DETAILS:
+            failures.append(OracleFailure("provenance-chains", detail))
+
+    for fact in prov.unsupported():
+        fail(f"unsupported fixpoint fact {fact.key}")
+    for use, defs in sorted(base.ud_chains().items(), key=lambda kv: kv[0].name):
+        node = base.graph.node(use.site) if isinstance(use.site, str) else use.site
+        if node.local_def_before(use.var, use.ordinal) is not None:
+            continue  # intra-block chain; no In fact involved
+        for d in sorted(defs, key=lambda d: d.index):
+            if not prov.has_fact("In", node, d):
+                fail(f"ud-chain def {d.name} of use {use.name} has no In fact")
+                continue
+            chain = prov.chain("In", node, d)
+            root, last = chain[0], chain[-1]
+            if root.kind != "gen" or root.fact.node is not base.info.def_node[d]:
+                fail(
+                    f"chain of {d.name} at ({node.name}) roots at "
+                    f"{root.kind}:{root.fact.key}, not gen at its defining node"
+                )
+            if last.fact.node is not node:
+                fail(
+                    f"chain of {d.name} ends at ({last.fact.node.name}), "
+                    f"not the use's block ({node.name})"
+                )
+    scc = _solve_precise(build_pfg(program), cfg.backend, solver="scc", record_provenance=True)
+    if scc.provenance.canonical() != prov.canonical():
+        fail("scc justification graph differs from stabilized")
+    return _trim(failures, total) if total > MAX_DETAILS else failures
 
 
 @register("dynamic-selfcheck")

@@ -40,6 +40,15 @@ from .metrics import (
     get_metrics,
     set_metrics,
 )
+from .report import (
+    REPORT_SCHEMA,
+    ReportError,
+    aggregate,
+    compare_to_baseline,
+    read_baseline,
+    render_report,
+    write_baseline,
+)
 from .sinks import (
     SCHEMA,
     InMemorySink,
@@ -63,17 +72,24 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "ObsSession",
+    "REPORT_SCHEMA",
+    "ReportError",
     "SCHEMA",
     "Span",
     "Tracer",
+    "aggregate",
     "bitset_counting_enabled",
+    "compare_to_baseline",
     "get_metrics",
     "get_tracer",
     "metric_records",
+    "read_baseline",
     "read_jsonl",
     "records",
+    "render_report",
     "render_tree",
     "session",
+    "write_baseline",
     "set_metrics",
     "set_tracer",
     "span_records",

@@ -18,7 +18,9 @@ instruments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+import random
+from typing import Dict, List, Optional
 
 __all__ = [
     "Counter",
@@ -27,9 +29,19 @@ __all__ = [
     "Metrics",
     "NullMetrics",
     "NULL_METRICS",
+    "RESERVOIR_SIZE",
     "get_metrics",
     "set_metrics",
 ]
+
+#: Bound on stored histogram samples.  Beyond this many observations the
+#: histogram keeps a uniform random sample (reservoir sampling), so
+#: percentiles stay estimable at O(1) memory however long the run.
+RESERVOIR_SIZE = 512
+
+#: Fixed reservoir seed: the kept sample is a pure function of the
+#: observation sequence, so identical runs report identical percentiles.
+_RESERVOIR_SEED = 0x5EED
 
 
 class Counter:
@@ -60,16 +72,23 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/total/min/max) — enough to answer "how
-    long were worklists" without storing samples."""
+    """Streaming summary plus a bounded sample reservoir.
 
-    __slots__ = ("count", "total", "min", "max")
+    ``count``/``total``/``min``/``max`` are exact over every observation;
+    percentiles come from a :data:`RESERVOIR_SIZE`-bounded uniform sample
+    (Vitter's Algorithm R with a fixed per-instance seed, so the reservoir
+    — and hence every reported percentile — is a deterministic function of
+    the observation sequence)."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_rng")
 
     def __init__(self) -> None:
         self.count: int = 0
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(_RESERVOIR_SEED)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -78,10 +97,61 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            # Algorithm R: the i-th observation replaces a random slot
+            # with probability RESERVOIR_SIZE/i (count was just bumped).
+            j = self._rng.randrange(self.count)
+            if j < RESERVOIR_SIZE:
+                self._samples[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the sampled values, ``None`` when no
+        observation has been recorded.  ``q`` in [0, 100]."""
+        if not self._samples:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q!r}")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def samples(self) -> List[float]:
+        """The current reservoir, sorted (a deterministic export order —
+        reservoir slots are replacement-order-dependent, values are not)."""
+        return sorted(self._samples)
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold an exported histogram snapshot (see
+        :meth:`Metrics.export_state`) into this instrument.
+
+        Exact fields combine exactly; the two reservoirs concatenate and,
+        when over :data:`RESERVOIR_SIZE`, downsample *deterministically*
+        (sorted, evenly spaced) rather than re-randomizing — merged
+        percentiles are a pure function of the merged inputs."""
+        other_count = int(state.get("count", 0))
+        if not other_count:
+            return
+        self.count += other_count
+        self.total += float(state.get("total", 0.0))
+        other_min = state.get("min")
+        other_max = state.get("max")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = float(other_min)
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = float(other_max)
+        combined = sorted(self._samples)
+        combined.extend(float(v) for v in state.get("samples", ()))
+        combined.sort()
+        n = len(combined)
+        if n > RESERVOIR_SIZE:
+            combined = [combined[(i * n) // RESERVOIR_SIZE] for i in range(RESERVOIR_SIZE)]
+        self._samples = combined
 
 
 class Metrics:
@@ -138,7 +208,46 @@ class Metrics:
             if value:
                 self.counter(name).inc(int(value))
 
+    def merge(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold a full exported snapshot (:meth:`export_state`) into this
+        registry: counters add, gauges take the incoming value (last write
+        wins) with max-of-max, histograms combine exactly and merge their
+        sample reservoirs deterministically.
+
+        The complete cross-process story — :meth:`merge_counters` alone
+        drops worker gauge/histogram telemetry on the floor."""
+        self.merge_counters({k: int(v) for k, v in state.get("counters", {}).items()})
+        for name, snap in state.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.value = float(snap["value"])
+            other_max = float(snap.get("max", snap["value"]))
+            if other_max > g.max:
+                g.max = other_max
+        for name, snap in state.get("histograms", {}).items():
+            self.histogram(name).merge_state(snap)
+
     # -- export ---------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """JSON/pickle-safe snapshot for :meth:`merge` on another registry
+        (the worker half of cross-process aggregation)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items()) if c.value},
+            "gauges": {
+                k: {"value": g.value, "max": g.max} for k, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "samples": h.samples(),
+                }
+                for k, h in sorted(self.histograms.items())
+                if h.count
+            },
+        }
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Flat snapshot keyed by instrument kind, for summaries/tests."""
@@ -146,7 +255,16 @@ class Metrics:
             "counters": {k: c.value for k, c in sorted(self.counters.items())},
             "gauges": {k: {"value": g.value, "max": g.max} for k, g in sorted(self.gauges.items())},
             "histograms": {
-                k: {"count": h.count, "total": h.total, "min": h.min, "max": h.max, "mean": h.mean}
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "p50": h.percentile(50),
+                    "p90": h.percentile(90),
+                    "p99": h.percentile(99),
+                }
                 for k, h in sorted(self.histograms.items())
             },
         }
@@ -197,6 +315,9 @@ class NullMetrics(Metrics):
         return None
 
     def merge_counters(self, counters: Dict[str, int]) -> None:
+        return None
+
+    def merge(self, state: Dict[str, Dict[str, object]]) -> None:
         return None
 
 

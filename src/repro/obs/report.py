@@ -1,0 +1,326 @@
+"""Cross-run telemetry aggregation (``repro obs report``).
+
+One CI run leaves several JSONL artifacts behind: ``--profile`` exports
+(``repro-obs/1``), batch manifests (``repro-batch/1``), and fuzz-campaign
+manifests (``repro-fuzz/1``).  Each answers questions about *its* run;
+none answers "how did the fleet do?".  This module ingests any mix of the
+three schemas and folds them into **one** deterministic summary:
+
+* counter totals across every run (batch per-task counters included);
+* histogram aggregates with p50/p90/p99 over the *merged* sample
+  reservoirs (:meth:`repro.obs.metrics.Histogram.merge_state` — summary
+  stats alone cannot be combined into percentiles);
+* per-outcome task tables for batch tasks and fuzz cases/drills;
+* the top-k slowest spans across every profile.
+
+Determinism contract: the report is a pure function of the input *file
+set* — inputs are ingested in sorted-path order, every collection in the
+output is sorted, and no wall-clock or environment data is stamped in —
+so two aggregations of the same files are byte-identical
+(``render_report`` and ``json.dumps(report, sort_keys=True)`` both).
+
+Baselines: ``write_baseline`` persists a report as
+``repro-obs-report/1`` JSON; :func:`compare_to_baseline` diffs a fresh
+report against it and returns the regressions — counter totals growing
+past ``baseline × (1 + tolerance)``, or more failure-status tasks than
+the baseline had.  The CLI turns a non-empty regression list into exit
+code 2, making the aggregate a CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .metrics import Histogram
+from .sinks import read_jsonl
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "FAILURE_STATUSES",
+    "ReportError",
+    "aggregate",
+    "render_report",
+    "write_baseline",
+    "read_baseline",
+    "compare_to_baseline",
+]
+
+REPORT_SCHEMA = "repro-obs-report/1"
+
+#: Known input schemas → the record ``type`` carrying per-unit outcomes.
+_INPUT_SCHEMAS = ("repro-obs/1", "repro-batch/1", "repro-fuzz/1")
+
+#: Task statuses that count as failures for the baseline gate (the
+#: nonzero-exit statuses of the batch contract, plus the fuzz ``failed``).
+FAILURE_STATUSES = frozenset(
+    {"error", "failed", "invariant", "dynamic-failure", "crashed"}
+)
+
+Record = Dict[str, object]
+
+
+class ReportError(ValueError):
+    """An input file is unreadable or not a recognized manifest."""
+
+
+class _Accumulator:
+    """Mutable aggregation state; :meth:`report` freezes it to the output."""
+
+    def __init__(self) -> None:
+        self.files: List[str] = []
+        self.by_schema: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauge_max: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        # kind ("batch task" / "fuzz case" / ...) → status → [count, wall]
+        self.tasks: Dict[str, Dict[str, List[float]]] = {}
+        self.spans: List[Record] = []
+
+    # -- folding helpers ------------------------------------------------
+
+    def add_counter(self, name: str, value: int) -> None:
+        if value:
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def add_gauge(self, name: str, value: float) -> None:
+        if name not in self.gauge_max or value > self.gauge_max[name]:
+            self.gauge_max[name] = float(value)
+
+    def add_histogram(self, name: str, state: Record) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.merge_state(state)
+
+    def add_task(self, kind: str, status: str, wall_s: float) -> None:
+        per_status = self.tasks.setdefault(kind, {})
+        cell = per_status.setdefault(status, [0, 0.0])
+        cell[0] += 1
+        cell[1] += float(wall_s)
+
+    # -- per-schema ingestion -------------------------------------------
+
+    def ingest(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        try:
+            records = read_jsonl(path)
+        except OSError as err:
+            raise ReportError(f"{path}: {err}") from err
+        except json.JSONDecodeError as err:
+            raise ReportError(f"{path}: not JSONL ({err})") from err
+        if not records or records[0].get("type") != "meta":
+            raise ReportError(f"{path}: no leading meta record")
+        schema = str(records[0].get("schema"))
+        if schema not in _INPUT_SCHEMAS:
+            known = ", ".join(_INPUT_SCHEMAS)
+            raise ReportError(f"{path}: unknown schema {schema!r} (expected one of {known})")
+        self.files.append(str(path))
+        self.by_schema[schema] = self.by_schema.get(schema, 0) + 1
+        fold = {
+            "repro-obs/1": self._ingest_obs,
+            "repro-batch/1": self._ingest_batch,
+            "repro-fuzz/1": self._ingest_fuzz,
+        }[schema]
+        for record in records[1:]:
+            fold(record)
+
+    def _ingest_obs(self, record: Record) -> None:
+        kind = record.get("type")
+        name = str(record.get("name"))
+        if kind == "counter":
+            self.add_counter(name, int(record.get("value", 0)))
+        elif kind == "gauge":
+            self.add_gauge(name, float(record.get("max", record.get("value", 0.0))))
+        elif kind == "histogram":
+            self.add_histogram(name, record)
+        elif kind == "span":
+            self.spans.append(
+                {
+                    "path": str(record.get("path", name)),
+                    "dur": float(record.get("dur", 0.0)),
+                }
+            )
+
+    def _ingest_batch(self, record: Record) -> None:
+        if record.get("type") != "task":
+            return
+        self.add_task(
+            "batch task", str(record.get("status")), float(record.get("wall_s", 0.0))
+        )
+        for name, value in (record.get("counters") or {}).items():
+            self.add_counter(str(name), int(value))
+        metrics = record.get("metrics") or {}
+        for name, snap in (metrics.get("gauges") or {}).items():
+            self.add_gauge(str(name), float(snap.get("max", snap.get("value", 0.0))))
+        for name, snap in (metrics.get("histograms") or {}).items():
+            self.add_histogram(str(name), snap)
+
+    def _ingest_fuzz(self, record: Record) -> None:
+        kind = record.get("type")
+        if kind in ("case", "drill"):
+            self.add_task(
+                f"fuzz {kind}", str(record.get("status")), float(record.get("wall_s", 0.0))
+            )
+
+    # -- freeze ---------------------------------------------------------
+
+    def report(self, top: int = 10) -> Record:
+        histograms: Dict[str, Record] = {}
+        for name, h in sorted(self.histograms.items()):
+            histograms[name] = {
+                "count": h.count,
+                "total": round(h.total, 9),
+                "min": h.min,
+                "max": h.max,
+                "mean": round(h.mean, 9),
+                "p50": h.percentile(50),
+                "p90": h.percentile(90),
+                "p99": h.percentile(99),
+            }
+        tasks: Dict[str, Record] = {}
+        for kind, per_status in sorted(self.tasks.items()):
+            by_status = {
+                status: {"count": int(cell[0]), "wall_s": round(cell[1], 6)}
+                for status, cell in sorted(per_status.items())
+            }
+            tasks[kind] = {
+                "total": sum(int(cell[0]) for cell in per_status.values()),
+                "failures": sum(
+                    int(cell[0])
+                    for status, cell in per_status.items()
+                    if status in FAILURE_STATUSES
+                ),
+                "by_status": by_status,
+            }
+        # Slowest spans; ties broken by path then duration so the cut is
+        # stable however the inputs were ordered.
+        slowest = sorted(self.spans, key=lambda s: (-s["dur"], s["path"]))[: max(top, 0)]
+        return {
+            "schema": REPORT_SCHEMA,
+            "inputs": {
+                "files": sorted(self.files),
+                "by_schema": dict(sorted(self.by_schema.items())),
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {
+                name: {"max": value} for name, value in sorted(self.gauge_max.items())
+            },
+            "histograms": histograms,
+            "tasks": tasks,
+            "spans": {"total": len(self.spans), "slowest": slowest},
+        }
+
+
+def aggregate(paths: Sequence[Union[str, Path]], top: int = 10) -> Record:
+    """Aggregate JSONL manifests into one ``repro-obs-report/1`` dict.
+
+    ``paths`` may mix the three input schemas freely; they are ingested
+    in sorted order so the result is independent of argument order.
+    Raises :class:`ReportError` on an unreadable or unrecognized input.
+    """
+    if not paths:
+        raise ReportError("no input files")
+    acc = _Accumulator()
+    for path in sorted(str(p) for p in paths):
+        acc.ingest(path)
+    return acc.report(top=top)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_report(report: Record) -> str:
+    """Deterministic human-readable summary of an aggregated report."""
+    inputs = report["inputs"]
+    by_schema = ", ".join(f"{n} {s}" for s, n in inputs["by_schema"].items())
+    lines = [f"obs report: {len(inputs['files'])} file(s) — {by_schema}"]
+    tasks = report["tasks"]
+    if tasks:
+        lines.append("")
+        lines.append("tasks:")
+        for kind, table in tasks.items():
+            statuses = ", ".join(
+                f"{cell['count']} {status}" for status, cell in table["by_status"].items()
+            )
+            lines.append(f"  {kind}: {table['total']} total ({statuses})")
+    counters = report["counters"]
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {value:>12}  {name}")
+    histograms = report["histograms"]
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p90 / p99 / max):")
+        for name, h in histograms.items():
+            lines.append(
+                f"  {h['count']:>8} / {_fmt(h['mean'])} / {_fmt(h['p50'])}"
+                f" / {_fmt(h['p90'])} / {_fmt(h['p99'])} / {_fmt(h['max'])}  {name}"
+            )
+    spans = report["spans"]
+    if spans["slowest"]:
+        lines.append("")
+        lines.append(f"slowest spans (of {spans['total']}):")
+        for s in spans["slowest"]:
+            lines.append(f"  {s['dur'] * 1e3:10.3f} ms  {s['path']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_baseline(path: Union[str, Path], report: Record) -> None:
+    """Persist an aggregated report as a baseline JSON file."""
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def read_baseline(path: Union[str, Path]) -> Record:
+    """Load a baseline; validates the schema stamp."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as err:
+        raise ReportError(f"{path}: {err}") from err
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{path}: not JSON ({err})") from err
+    if not isinstance(data, dict) or data.get("schema") != REPORT_SCHEMA:
+        raise ReportError(f"{path}: not a {REPORT_SCHEMA} baseline")
+    return data
+
+
+def compare_to_baseline(
+    report: Record, baseline: Record, tolerance: float = 0.1
+) -> List[str]:
+    """Regressions of ``report`` against ``baseline`` (empty = pass).
+
+    * a counter total exceeding ``baseline × (1 + tolerance)`` (counters
+      absent from the baseline are *informational*, not regressions —
+      new instrumentation must not fail the gate);
+    * any task kind reporting more :data:`FAILURE_STATUSES` tasks than
+      the baseline recorded.
+    """
+    problems: List[str] = []
+    base_counters = baseline.get("counters", {})
+    for name, value in report.get("counters", {}).items():
+        base = base_counters.get(name)
+        if base is None:
+            continue
+        allowed = base * (1.0 + tolerance)
+        if value > allowed:
+            problems.append(
+                f"counter {name}: {value} exceeds baseline {base} "
+                f"(+{tolerance:.0%} tolerance = {allowed:.1f})"
+            )
+    base_tasks = baseline.get("tasks", {})
+    for kind, table in report.get("tasks", {}).items():
+        failures = int(table.get("failures", 0))
+        base_failures = int(base_tasks.get(kind, {}).get("failures", 0))
+        if failures > base_failures:
+            problems.append(
+                f"{kind}: {failures} failure(s) vs {base_failures} in baseline"
+            )
+    return problems

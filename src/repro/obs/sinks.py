@@ -92,6 +92,12 @@ def metric_records(metrics: Metrics) -> List[Record]:
                 "total": h.total,
                 "min": h.min,
                 "max": h.max,
+                "p50": h.percentile(50),
+                "p90": h.percentile(90),
+                "p99": h.percentile(99),
+                # Bounded reservoir (sorted): lets aggregators re-derive
+                # percentiles over *merged* runs, which summary stats can't.
+                "samples": h.samples(),
             }
         )
     return out
@@ -193,10 +199,13 @@ def render_tree(
                 lines.append(f"  {g['value']:>12g} / {g['max']:g}  {name}")
         if snap["histograms"]:
             lines.append("")
-            lines.append("histograms (count / mean / max):")
+            lines.append("histograms (count / mean / p50 / p90 / p99 / max):")
             for name, h in snap["histograms"].items():
                 mean = h["total"] / h["count"] if h["count"] else 0.0
-                lines.append(f"  {h['count']:>8} / {mean:.2f} / {h['max']}  {name}")
+                lines.append(
+                    f"  {h['count']:>8} / {mean:.2f} / {h['p50']} / {h['p90']}"
+                    f" / {h['p99']} / {h['max']}  {name}"
+                )
     return "\n".join(lines) + "\n"
 
 

@@ -160,8 +160,9 @@ class PFGNode:
         body = "; ".join(parts) if parts else "(empty)"
         return f"[{self.name}:{self.kind}] {body}"
 
-    def __hash__(self) -> int:
-        return id(self)
+    # Identity hash, same as the default — spelled out because nodes key
+    # the hot dataflow dicts and the C-level slot beats a Python method.
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:
         return f"PFGNode({self.id}, {self.name!r}, {self.kind})"

@@ -1,0 +1,42 @@
+"""repro.provenance — justification graphs and explanation rendering.
+
+Opt in per solve (``analyze(..., record_provenance=True)`` or the
+``record_provenance`` flag on ``solve_sequential`` / ``solve_parallel`` /
+``solve_synch``): once the fixpoint converges, every solver calls the
+system's :meth:`record_justifications` hook, which derives a
+:class:`JustificationGraph` — for each ``(node, definition)`` fact, the
+edge that first established it (Gen at its birth statement, flow across a
+PFG edge, survival at a join or ``wait``) — and attaches it to the result
+as ``result.provenance``.  :func:`ensure_provenance` builds the same
+graph post-hoc for results solved without the flag.
+
+Derivation is a pure function of the converged sets, so the stabilized
+and SCC engines produce identical justifications by construction (pinned
+by the ``provenance-chains`` fuzz oracle and the golden chains in
+``tests/regression/test_provenance_golden.py``).  See
+``docs/provenance.md`` for the edge taxonomy and a chain-reading guide.
+"""
+
+from .diagnose import diagnose_anomalies, diagnose_anomaly
+from .explain import explain_block, explain_use, format_step, render_chain
+from .record import (
+    Fact,
+    Justification,
+    JustificationGraph,
+    build_justifications,
+    ensure_provenance,
+)
+
+__all__ = [
+    "Fact",
+    "Justification",
+    "JustificationGraph",
+    "build_justifications",
+    "diagnose_anomalies",
+    "diagnose_anomaly",
+    "ensure_provenance",
+    "explain_block",
+    "explain_use",
+    "format_step",
+    "render_chain",
+]

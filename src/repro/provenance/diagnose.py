@@ -1,0 +1,73 @@
+"""Anomaly diagnostics: cite each colliding definition's full provenance.
+
+The paper reads multiple definitions of one variable reaching a join or
+wait as a potential concurrent-update anomaly (§3/§5/§6); a bare report
+("``x4``/``x5`` reach the join") leaves the *why* to the reader.  This
+module expands every :class:`~repro.analysis.anomalies.Anomaly` into a
+diagnostic whose colliding definitions each carry their justification
+chain — birth statement, every PFG hop, every synchronization crossed —
+so the collision can be traced to the source constructs that allow it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.anomalies import Anomaly, AnomalyKind, find_anomalies
+from ..pfg.concurrency import concurrent
+from ..reachdefs.result import ReachingDefsResult
+from .explain import render_chain
+from .record import ensure_provenance
+
+__all__ = ["diagnose_anomaly", "diagnose_anomalies"]
+
+
+def diagnose_anomaly(result: ReachingDefsResult, anomaly: Anomaly) -> str:
+    """One anomaly, expanded: the classification line, a concurrency note
+    naming the first genuinely unordered pair (for race severities), and
+    each definition's chain to the anomalous node."""
+    prov = ensure_provenance(result)
+    node = anomaly.node
+    lines: List[str] = [anomaly.format()]
+    defs = sorted(anomaly.defs, key=lambda d: d.index)
+    if anomaly.kind is not AnomalyKind.MULTIPLE:
+        pair = _first_concurrent_pair(result, defs, anomaly)
+        if pair is not None and pair[0] is pair[1]:
+            lines.append(
+                f"  {pair[0].name} is written inside a Parallel Do body — "
+                f"distinct iterations may both write it, so any copy can win"
+            )
+        elif pair is not None:
+            lines.append(
+                f"  {pair[0].name} and {pair[1].name} are written by blocks "
+                f"that may execute concurrently — either value can win"
+            )
+    for d in defs:
+        lines.append(f"  {d.name} reaches ({node.name}) because:")
+        lines.extend(f"    {line}" for line in render_chain(prov, "In", node, d))
+    return "\n".join(lines) + "\n"
+
+
+def _first_concurrent_pair(result, defs, anomaly):
+    nodes = [result.info.def_node[d] for d in defs]
+    for i in range(len(defs)):
+        for j in range(i + 1, len(defs)):
+            if concurrent(nodes[i], nodes[j]):
+                return defs[i], defs[j]
+    if anomaly.kind is AnomalyKind.CROSS_ITERATION and defs:
+        # Single static definition racing with itself across iterations.
+        return defs[0], defs[0]
+    return None
+
+
+def diagnose_anomalies(
+    result: ReachingDefsResult,
+    anomalies: Optional[Sequence[Anomaly]] = None,
+    include_multiple: bool = True,
+) -> str:
+    """Full diagnostic report; computes the anomaly list if not given."""
+    if anomalies is None:
+        anomalies = find_anomalies(result, include_multiple=include_multiple)
+    if not anomalies:
+        return "no anomalies found\n"
+    return "\n".join(diagnose_anomaly(result, a) for a in anomalies)

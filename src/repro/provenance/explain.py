@@ -1,0 +1,114 @@
+"""Render justification chains as human-readable provenance reports.
+
+The ``repro explain`` CLI command and the anomaly diagnostics both speak
+through here: :func:`render_chain` turns one derivation into indented
+text lines (birth statement → each PFG/sync hop → the block it lands
+in), :func:`explain_use` covers one read, and :func:`explain_block`
+covers every read in a block (or, with ``var`` and no reads, the
+definitions of ``var`` reaching the block's start).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.defs import Definition, Use
+from ..pfg.node import PFGNode
+from ..reachdefs.result import ReachingDefsResult
+from .record import Justification, JustificationGraph, ensure_provenance
+
+__all__ = [
+    "render_chain",
+    "format_step",
+    "explain_use",
+    "explain_block",
+]
+
+
+def format_step(step: Justification) -> str:
+    """One line per justification step (renderer for :func:`render_chain`)."""
+    fact = step.fact
+    if step.kind == "gen":
+        stmt = f": {step.note}" if step.note else ""
+        return f"born in block ({fact.node.name}){stmt}"
+    if step.kind == "flow":
+        src, dst, kind = step.edge  # type: ignore[misc]
+        note = f" {step.note}" if step.note else ""
+        return f"flows ({src}) → ({dst}) on a {kind} edge{note}"
+    if step.kind == "survive":
+        note = f" — {step.note}" if step.note else ""
+        return f"survives block ({fact.node.name}){note}"
+    # unsupported
+    return f"no derivation: {step.note}"
+
+
+def render_chain(
+    prov: JustificationGraph, slot: str, node: PFGNode, defn: Definition
+) -> List[str]:
+    """The derivation of ``defn ∈ slot(node)`` as text lines, root first."""
+    return [format_step(step) for step in prov.chain(slot, node, defn)]
+
+
+def _chain_lines(
+    result: ReachingDefsResult, node: PFGNode, defn: Definition, indent: str
+) -> List[str]:
+    prov = ensure_provenance(result)
+    local = defn in node.defs
+    if local:
+        # The definition is in the very block that reads it — no In fact
+        # is involved; the chain is the intra-block ordering.
+        stmt = f": {defn.stmt}" if defn.stmt is not None else ""
+        return [f"{indent}defined earlier in the same block ({node.name}){stmt}"]
+    return [f"{indent}{line}" for line in render_chain(prov, "In", node, defn)]
+
+
+def explain_use(result: ReachingDefsResult, use: Use) -> str:
+    """Provenance of every definition reaching one read."""
+    node = result.graph.node(use.site)
+    defs = sorted(result.reaching_use(use), key=lambda d: d.index)
+    if not defs:
+        return f"{use.name}: no reaching definition (uninitialized read)\n"
+    lines: List[str] = []
+    word = "definition" if len(defs) == 1 else "definitions"
+    lines.append(f"{use.name}: {len(defs)} reaching {word}")
+    for d in defs:
+        lines.append(f"  {d.name}:")
+        lines.extend(_chain_lines(result, node, d, "    "))
+        lines.append(f"    read by {use.name} in block ({node.name})")
+    return "\n".join(lines) + "\n"
+
+
+def explain_block(
+    result: ReachingDefsResult, ref, var: Optional[str] = None
+) -> str:
+    """Provenance report for one block: every read in the block (filtered
+    by ``var`` if given); with ``var`` and no matching read, the
+    definitions of ``var`` reaching the block's start.
+
+    Raises ``KeyError`` for an unknown block and ``ValueError`` for a
+    ``var`` the block neither reads nor receives.
+    """
+    node = result.graph.node(ref) if isinstance(ref, str) else ref
+    uses = [u for u in node.uses() if var is None or u.var == var]
+    sections: List[str] = []
+    header = f"block ({node.name}): {node.describe()}"
+    if uses:
+        for use in uses:
+            sections.append(explain_use(result, use))
+        return header + "\n\n" + "\n".join(sections)
+    if var is not None:
+        defs = sorted(result.reaching(node, var), key=lambda d: d.index)
+        if not defs:
+            raise ValueError(
+                f"block ({node.name}) neither reads {var!r} nor is reached "
+                f"by any definition of it"
+            )
+        prov = ensure_provenance(result)
+        lines = [header, ""]
+        word = "definition" if len(defs) == 1 else "definitions"
+        lines.append(f"{var} at block entry: {len(defs)} reaching {word}")
+        for d in defs:
+            lines.append(f"  {d.name}:")
+            lines.extend(f"    {line}" for line in render_chain(prov, "In", node, d))
+        return "\n".join(lines) + "\n"
+    return header + "\n\n(no reads in this block)\n"

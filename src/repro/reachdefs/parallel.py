@@ -53,13 +53,20 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
 
     system_name = "parallel"
 
+    #: Whether the In equation reads synchronization edges — the flow-edge
+    #: family provenance recording follows (§6 subclass overrides).
+    provenance_sync_edges = False
+
     def __init__(
         self,
         graph: ParallelFlowGraph,
         backend: str = "bitset",
         info: Optional[GenKillInfo] = None,
+        record_provenance: bool = False,
     ):
         self.graph = graph
+        self.wants_provenance = record_provenance
+        self._provenance = None
         self.info = info if info is not None else compute_genkill(graph)
         self.ops = make_backend(backend, list(graph.defs))
         ops = self.ops
@@ -232,6 +239,26 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
             out.append(n.join)
         return out
 
+    # -- provenance (opt-in; see repro.provenance) --------------------------
+
+    def record_justifications(self):
+        """Derive the justification graph from the converged sets (the
+        solver's post-convergence hook; see
+        :func:`repro.dataflow.solver._finalize_provenance`)."""
+        from ..provenance.record import build_justifications
+
+        ops = self.ops
+        nodes = self.graph.nodes
+        self._provenance = build_justifications(
+            self.graph,
+            {n: ops.to_frozenset(self.In[n]) for n in nodes},
+            {n: ops.to_frozenset(self.Out[n]) for n in nodes},
+            self.info.gen,
+            include_sync=self.provenance_sync_edges,
+            system=self.system_name,
+        )
+        return self._provenance
+
     # -- results ---------------------------------------------------------------
 
     def snapshot(self):
@@ -260,6 +287,7 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
             fork_kill={n: ops.to_frozenset(self.ForkKill[n]) for n in nodes},
             stats=stats,
             system=self.system_name,
+            provenance=self._provenance,
         )
 
 
@@ -317,8 +345,13 @@ def solve_parallel(
     solver: str = "stabilized",
     snapshot_passes: bool = False,
     budget=None,
+    record_provenance: bool = False,
 ) -> ReachingDefsResult:
-    """Run the §5 parallel reaching-definitions system to fixpoint."""
-    system = ParallelRDSystem(graph, backend=backend)
+    """Run the §5 parallel reaching-definitions system to fixpoint.
+
+    ``record_provenance=True`` derives the justification graph after
+    convergence and attaches it as ``result.provenance``
+    (:mod:`repro.provenance`)."""
+    system = ParallelRDSystem(graph, backend=backend, record_provenance=record_provenance)
     stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
     return system.to_result(stats)

@@ -43,6 +43,11 @@ class ReachingDefsResult:
     preserved: Optional[PreservedResult] = None
     stats: SolveStats = field(default_factory=SolveStats)
     system: str = ""
+    #: Justification graph (:class:`repro.provenance.JustificationGraph`)
+    #: when the solve ran with ``record_provenance=True``; ``None``
+    #: otherwise (build lazily via :func:`repro.provenance.ensure_provenance`).
+    #: Typed ``object`` to keep this module import-cycle-free.
+    provenance: Optional[object] = None
 
     # -- node resolution -----------------------------------------------------
 

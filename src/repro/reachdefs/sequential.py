@@ -34,8 +34,11 @@ class SequentialRDSystem(EquationSystem[PFGNode]):
         graph: ParallelFlowGraph,
         backend: str = "bitset",
         info: Optional[GenKillInfo] = None,
+        record_provenance: bool = False,
     ):
         self.graph = graph
+        self.wants_provenance = record_provenance
+        self._provenance = None
         self.info = info if info is not None else compute_genkill(graph)
         self.ops = make_backend(backend, list(graph.defs))
         ops = self.ops
@@ -66,6 +69,22 @@ class SequentialRDSystem(EquationSystem[PFGNode]):
     def dependents(self, n: PFGNode) -> Iterable[PFGNode]:
         return self.graph.control_succs(n)
 
+    def record_justifications(self):
+        """Solver post-convergence hook (see :mod:`repro.provenance`)."""
+        from ..provenance.record import build_justifications
+
+        ops = self.ops
+        nodes = self.graph.nodes
+        self._provenance = build_justifications(
+            self.graph,
+            {n: ops.to_frozenset(self._in[n]) for n in nodes},
+            {n: ops.to_frozenset(self._out[n]) for n in nodes},
+            self.info.gen,
+            include_sync=False,
+            system="sequential",
+        )
+        return self._provenance
+
     def snapshot(self):
         ops = self.ops
         return {
@@ -82,6 +101,7 @@ class SequentialRDSystem(EquationSystem[PFGNode]):
             out_sets={n: ops.to_frozenset(self._out[n]) for n in self.graph.nodes},
             stats=stats,
             system="sequential",
+            provenance=self._provenance,
         )
 
 
@@ -92,9 +112,10 @@ def solve_sequential(
     solver: str = "round-robin",
     snapshot_passes: bool = False,
     budget=None,
+    record_provenance: bool = False,
 ) -> ReachingDefsResult:
     """Run sequential reaching definitions to fixpoint on ``graph``."""
-    system = SequentialRDSystem(graph, backend=backend)
+    system = SequentialRDSystem(graph, backend=backend, record_provenance=record_provenance)
     nodes = make_order(graph, order)
     if solver == "round-robin":
         stats = solve_round_robin(

@@ -83,6 +83,10 @@ class SynchRDSystem(ParallelRDSystem):
 
     system_name = "synch"
 
+    #: §6's In equation reads sync predecessors, so provenance flow edges
+    #: include synchronization edges.
+    provenance_sync_edges = True
+
     def __init__(
         self,
         graph: ParallelFlowGraph,
@@ -90,8 +94,11 @@ class SynchRDSystem(ParallelRDSystem):
         backend: str = "bitset",
         info: Optional[GenKillInfo] = None,
         filter_synch_pass: bool = True,
+        record_provenance: bool = False,
     ):
-        super().__init__(graph, backend=backend, info=info)
+        super().__init__(
+            graph, backend=backend, info=info, record_provenance=record_provenance
+        )
         self.preserved = preserved
         self.filter_synch_pass = filter_synch_pass
         self._sync_preds = {n: graph.sync_preds(n) for n in graph.nodes}
@@ -224,6 +231,7 @@ def solve_synch(
     snapshot_passes: bool = False,
     filter_synch_pass: bool = True,
     budget=None,
+    record_provenance: bool = False,
 ) -> ReachingDefsResult:
     """Run the §6 synchronized reaching-definitions system to fixpoint.
 
@@ -241,7 +249,11 @@ def solve_synch(
     """
     pres = resolve_preserved(graph, mode=preserved, oracle=preserved_oracle, budget=budget)
     system = SynchRDSystem(
-        graph, preserved=pres, backend=backend, filter_synch_pass=filter_synch_pass
+        graph,
+        preserved=pres,
+        backend=backend,
+        filter_synch_pass=filter_synch_pass,
+        record_provenance=record_provenance,
     )
     stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
     return system.to_result(stats)

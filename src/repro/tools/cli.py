@@ -35,6 +35,19 @@ Commands
                        shrink drills), minimize failures, and stream a
                        ``repro-fuzz/1`` manifest (``--out``)
                        (:mod:`repro.fuzz`, ``docs/testing.md``).
+``explain FILE``     — provenance chains for one block: why each
+                       definition reaches ``--stmt N`` (optionally only
+                       for ``--var X``), walked back to its birth site
+                       (:mod:`repro.provenance`, ``docs/provenance.md``).
+``races FILE``       — anomaly reports (race severity by default;
+                       ``--all`` adds multiple-values warnings);
+                       ``--explain`` attaches the provenance chain of
+                       every colliding definition.
+``obs report``       — aggregate ``repro-obs/1`` / ``repro-batch/1`` /
+                       ``repro-fuzz/1`` JSONL files into one
+                       deterministic cross-run summary; ``--json`` saves
+                       it, ``--baseline`` gates against a saved report
+                       (exit 2 on regression; ``docs/observability.md``).
 
 Observability flags (``analyze``/``report``/``run``; ``stats`` implies
 ``--trace``): ``--trace`` appends the phase-time tree to the command's
@@ -60,11 +73,14 @@ code  meaning
 0     success (for ``check``: no soundness violations)
 1     usage / front-end / I/O error (bad syntax, missing file;
       for ``batch``: no inputs, unreadable ``--manifest``; for
-      ``fuzz``: a malformed ``--seeds`` spec)
+      ``fuzz``: a malformed ``--seeds`` spec; for ``explain``: an
+      unknown block or variable; for ``obs report``: an unreadable
+      or unrecognized input/baseline file)
 2     analysis failure (non-convergence, budget exhaustion,
       snapshot cap, ``check`` soundness violations; for
       ``batch``: any task recorded a nonzero code; for ``fuzz``:
-      any oracle mismatch or undetected/unshrinkable drill)
+      any oracle mismatch or undetected/unshrinkable drill; for
+      ``obs report --baseline``: any regression vs. the baseline)
 3     graph invariant violation (:class:`PFGInvariantError`)
 4     dynamic failure (``run``: interpreter deadlock — also the
       per-task code ``batch --run`` records for a deadlocking or
@@ -344,6 +360,86 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 4 if result.deadlocked else 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    result = _analyze(
+        _load(args.file),
+        backend=args.backend,
+        solver=args.solver,
+        preserved=args.preserved,
+        record_provenance=True,
+    )
+    from ..provenance import explain_block
+
+    try:
+        text = explain_block(result, str(args.stmt), var=args.var)
+    except KeyError:
+        names = ", ".join(n.name for n in result.graph.document_order())
+        sys.stderr.write(f"error: no block {args.stmt!r} (blocks: {names})\n")
+        return 1
+    except ValueError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+    sys.stdout.write(text)
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    result = _analyze(
+        _load(args.file),
+        backend=args.backend,
+        solver=args.solver,
+        preserved=args.preserved,
+        record_provenance=args.explain,
+    )
+    from ..analysis.anomalies import find_anomalies
+
+    anomalies = find_anomalies(result, include_multiple=args.all)
+    if args.explain:
+        from ..provenance import diagnose_anomalies
+
+        sys.stdout.write(
+            diagnose_anomalies(result, anomalies=anomalies, include_multiple=args.all)
+        )
+    elif not anomalies:
+        sys.stdout.write("no anomalies found\n")
+    else:
+        for a in anomalies:
+            sys.stdout.write(f"{a.format()}\n")
+    # A reporting command: anomalies are findings, not failures.
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from ..obs import report as obs_report
+
+    try:
+        report = obs_report.aggregate(args.files, top=args.top)
+        baseline = (
+            obs_report.read_baseline(args.baseline) if args.baseline else None
+        )
+    except obs_report.ReportError as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 1
+    sys.stdout.write(obs_report.render_report(report))
+    if args.json:
+        obs_report.write_baseline(args.json, report)
+        sys.stderr.write(f"wrote report to {args.json}\n")
+    if baseline is not None:
+        problems = obs_report.compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            sys.stdout.write("\nbaseline regressions:\n")
+            for problem in problems:
+                sys.stdout.write(f"  {problem}\n")
+            sys.stderr.write(
+                f"error: {len(problems)} regression(s) vs {args.baseline}\n"
+            )
+            return 2
+        sys.stdout.write(f"\nbaseline check passed ({args.baseline})\n")
+    return 0
+
+
 def _batch_inputs(args: argparse.Namespace) -> List[str]:
     """Resolve positional files/globs plus an optional ``--manifest`` list
     into an ordered, de-duplicated path list.  A glob pattern matching
@@ -615,6 +711,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "explain",
+        help="provenance chains: why each definition reaches a statement",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--stmt",
+        required=True,
+        metavar="N",
+        help="block name to explain (as printed by 'graph'/'analyze')",
+    )
+    p.add_argument(
+        "--var",
+        metavar="X",
+        help="restrict to one variable (read there, or reaching block entry)",
+    )
+    p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_solver_flag(p)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "races",
+        help="anomaly reports, optionally with provenance chains (--explain)",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach each colliding definition's full provenance chain",
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="also report multiple-values warnings (default: race severity only)",
+    )
+    p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
+    p.add_argument("--preserved", default="approx", choices=["approx", "none"])
+    _add_solver_flag(p)
+    p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("obs", help="observability artifact tooling")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    rp = obs_sub.add_parser(
+        "report",
+        help="aggregate obs/batch/fuzz JSONL files into one summary",
+    )
+    rp.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE.jsonl",
+        help="any mix of repro-obs/1, repro-batch/1, repro-fuzz/1 files",
+    )
+    rp.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many slowest spans to keep (default 10)",
+    )
+    rp.add_argument(
+        "--json",
+        metavar="OUT.json",
+        help="also write the aggregated report (repro-obs-report/1 JSON, "
+        "usable as a --baseline later)",
+    )
+    rp.add_argument(
+        "--baseline",
+        metavar="BASE.json",
+        help="compare against a saved report; exit 2 on regression",
+    )
+    rp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="allowed fractional counter growth vs baseline (default 0.1)",
+    )
+    rp.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser(
         "stats", help="run the whole pipeline traced; print the phase-time tree"

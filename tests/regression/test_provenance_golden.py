@@ -1,0 +1,190 @@
+"""Golden provenance chains for the paper's worked examples.
+
+Pins the justification chains behind the figures the paper argues from:
+
+* **fig5b** (§5, Figure 5/8 discussion) — the parallel-merge behavior:
+  ``b3``/``b5`` racing into the joins, ``c1``/``c7`` as the conservative
+  multiple-values warning, each with its full flow/survive path;
+* **fig9** (§6) — the synchronization kill: ``x3`` crosses the
+  ``post(ev) → wait(ev)`` edge while ``x1`` is *absent* at the wait
+  (the ACCKillout intersection removed it — the paper's sync-kill);
+* **fig3** (§6, Figure 3) — chains across the conditional posts.
+
+Plus the solver-identity law on every paper program: the stabilized and
+SCC engines must produce the *identical* canonical justification graph,
+and every ud-chain definition must be explained (no unsupported facts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analyze
+from repro.paper import SOURCES, programs
+from repro.provenance import (
+    diagnose_anomalies,
+    ensure_provenance,
+    explain_block,
+    format_step,
+)
+
+
+def solve(key: str, solver: str = "stabilized"):
+    return analyze(
+        programs.program(key), solver=solver, record_provenance=True, cache=False
+    )
+
+
+def chain_lines(result, slot, node_name, def_name):
+    node = result.graph.node(node_name)
+    (defn,) = [d for d in result.graph.defs if d.name == def_name]
+    steps = result.provenance.chain(slot, node, defn)
+    return [format_step(s) for s in steps]
+
+
+# ---------------------------------------------------------------------------
+# fig5b: parallel merge chains
+# ---------------------------------------------------------------------------
+
+
+def test_fig5b_race_chain_b3_direct():
+    result = solve("fig5b")
+    assert chain_lines(result, "In", "10", "b3") == [
+        "born in block (3): b = 7",
+        "flows (3) → (10) on a par edge out of a parallel section",
+    ]
+
+
+def test_fig5b_race_chain_b5_survives_inner_join():
+    result = solve("fig5b")
+    assert chain_lines(result, "In", "10", "b5") == [
+        "born in block (5): b = 5",
+        "flows (5) → (9) on a par edge out of a parallel section",
+        "survives block (9) — survives the join (not accumulator-killed)",
+        "flows (9) → (10) on a par edge out of a parallel section",
+    ]
+
+
+def test_fig5b_multiple_values_chain_c1():
+    result = solve("fig5b")
+    assert chain_lines(result, "In", "9", "c1") == [
+        "born in block (1): c = 2",
+        "flows (1) → (2) on a seq edge",
+        "survives block (2)",
+        "flows (2) → (4) on a par edge into a parallel section",
+        "survives block (4)",
+        "flows (4) → (5) on a par edge into a parallel section",
+        "survives block (5)",
+        "flows (5) → (9) on a par edge out of a parallel section",
+    ]
+
+
+def test_fig5b_diagnosis_cites_both_sides_of_the_race():
+    result = solve("fig5b")
+    text = diagnose_anomalies(result)
+    assert "race of 'b' at join (10): {b3, b5}" in text
+    assert "b3 reaches (10) because:" in text
+    assert "b5 reaches (10) because:" in text
+    assert (
+        "b3 and b5 are written by blocks that may execute concurrently" in text
+    )
+
+
+# ---------------------------------------------------------------------------
+# fig9: synchronization kill
+# ---------------------------------------------------------------------------
+
+
+def test_fig9_post_value_crosses_the_sync_edge():
+    result = solve("fig9")
+    assert chain_lines(result, "In", "5", "x3") == [
+        "born in block (3): x = 3",
+        "flows (3) → (5) on a sync edge post(ev) → wait(ev)",
+    ]
+
+
+def test_fig9_stale_definition_is_sync_killed_at_the_wait():
+    result = solve("fig9")
+    node5 = result.graph.node("5")
+    (x1,) = [d for d in result.graph.defs if d.name == "x1"]
+    # x1 does not reach the wait: the ordered post's x3 was accumulated
+    # into the kill, so there is no fact — that *absence* is the sync-kill.
+    assert x1 not in result.In(node5)
+    assert not result.provenance.has_fact("In", node5, x1)
+
+
+def test_fig9_explain_block_golden():
+    result = solve("fig9")
+    assert explain_block(result, "5", var="x") == (
+        "block (5): [5:basic] wait(ev); x = (x * 2)\n"
+        "\n"
+        "x@5#0: 1 reaching definition\n"
+        "  x3:\n"
+        "    born in block (3): x = 3\n"
+        "    flows (3) → (5) on a sync edge post(ev) → wait(ev)\n"
+        "    read by x@5#0 in block (5)\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# fig3: synchronized loop chains
+# ---------------------------------------------------------------------------
+
+
+def test_fig3_conditional_posts_both_reach_the_wait():
+    result = solve("fig3")
+    assert chain_lines(result, "In", "8", "x4") == [
+        "born in block (4): x = 7",
+        "flows (4) → (8) on a sync edge post(ev) → wait(ev)",
+    ]
+    assert chain_lines(result, "In", "8", "x5") == [
+        "born in block (5): x = 8",
+        "flows (5) → (8) on a sync edge post(ev) → wait(ev)",
+    ]
+
+
+def test_fig3_race_explanations_carry_complete_chains():
+    result = solve("fig3")
+    text = diagnose_anomalies(result, include_multiple=False)
+    # Every cited definition gets a chain ending in a birth site.
+    assert "x4 reaches (8) because:" in text
+    assert "born in block (4): x = 7" in text
+    assert "no derivation" not in text
+
+
+# ---------------------------------------------------------------------------
+# Laws over every paper program
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", sorted(SOURCES))
+def test_solver_identity_and_support(key):
+    stab = solve(key, "stabilized")
+    scc = solve(key, "scc")
+    assert stab.provenance.unsupported() == []
+    assert scc.provenance.unsupported() == []
+    assert stab.provenance.canonical() == scc.provenance.canonical()
+
+
+@pytest.mark.parametrize("key", sorted(SOURCES))
+def test_every_ud_chain_definition_is_explained(key):
+    result = solve(key)
+    prov = result.provenance
+    for use, defs in result.ud_chains().items():
+        node = result.graph.node(use.site) if isinstance(use.site, str) else use.site
+        if node.local_def_before(use.var, use.ordinal) is not None:
+            continue  # intra-block: explained by the block itself
+        for d in defs:
+            steps = prov.chain("In", node, d)
+            assert steps[0].kind == "gen"
+            assert steps[0].fact.node is result.info.def_node[d]
+            assert steps[-1].fact.node is node
+
+
+def test_lazy_provenance_matches_recorded():
+    recorded = solve("fig6")
+    lazy = analyze(programs.program("fig6"), cache=False)
+    assert lazy.provenance is None
+    built = ensure_provenance(lazy)
+    assert lazy.provenance is built
+    assert built.canonical() == recorded.provenance.canonical()

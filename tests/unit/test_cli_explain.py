@@ -1,0 +1,184 @@
+"""CLI tests for ``explain``, ``races`` and ``obs report``."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+
+RACY = """program racy
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) x = 2
+  (4) section B
+    (4) x = 3
+(5) end parallel sections
+(6) y = x
+end
+"""
+
+SYNC = """program synced
+event ev
+(1) x = 1
+(2) parallel sections
+  (3) section A
+    (3) x = 3
+    (3) post(ev)
+  (4) section B
+    (4) wait(ev)
+    (4) y = x
+(5) end parallel sections
+end
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    p = tmp_path / "racy.pcf"
+    p.write_text(RACY)
+    return str(p)
+
+
+@pytest.fixture
+def sync_file(tmp_path):
+    p = tmp_path / "sync.pcf"
+    p.write_text(SYNC)
+    return str(p)
+
+
+# -- explain ----------------------------------------------------------------
+
+
+def test_explain_renders_chains(sync_file, capsys):
+    assert main(["explain", sync_file, "--stmt", "4", "--var", "x"]) == 0
+    out = capsys.readouterr().out
+    assert "born in block (3): x = 3" in out
+    assert "sync edge post(ev) → wait(ev)" in out
+
+
+def test_explain_unknown_block_exits_1(sync_file, capsys):
+    assert main(["explain", sync_file, "--stmt", "42"]) == 1
+    err = capsys.readouterr().err
+    assert "no block '42'" in err and "blocks:" in err
+
+
+def test_explain_unknown_var_exits_1(sync_file, capsys):
+    assert main(["explain", sync_file, "--stmt", "4", "--var", "zz"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explain_scc_matches_stabilized(sync_file, capsys):
+    assert main(["explain", sync_file, "--stmt", "4", "--var", "x"]) == 0
+    stabilized = capsys.readouterr().out
+    assert main(["explain", sync_file, "--stmt", "4", "--var", "x",
+                 "--solver", "scc"]) == 0
+    assert capsys.readouterr().out == stabilized
+
+
+def test_explain_missing_file_exits_1(capsys):
+    assert main(["explain", "/no/such/file.pcf", "--stmt", "1"]) == 1
+
+
+# -- races ------------------------------------------------------------------
+
+
+def test_races_reports_without_chains_by_default(racy_file, capsys):
+    assert main(["races", racy_file]) == 0
+    out = capsys.readouterr().out
+    assert "race of 'x'" in out
+    assert "because:" not in out
+
+
+def test_races_explain_attaches_chains(racy_file, capsys):
+    assert main(["races", racy_file, "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "race of 'x'" in out
+    assert "x3 reaches (5) because:" in out
+    assert "born in block (3): x = 2" in out
+    assert "may execute concurrently" in out
+
+
+def test_races_clean_program(sync_file, tmp_path, capsys):
+    clean = tmp_path / "clean.pcf"
+    clean.write_text("program p\n(1) x = 1\n(2) y = x\nend\n")
+    assert main(["races", str(clean)]) == 0
+    assert "no anomalies found" in capsys.readouterr().out
+
+
+def test_races_all_includes_multiple_values(tmp_path, capsys):
+    src = """program m
+(1) c = 1
+(2) if p then
+  (3) c = 2
+(4) endif
+(5) parallel sections
+  (6) section A
+    (6) x = c
+  (7) section B
+    (7) y = 1
+(8) end parallel sections
+end
+"""
+    p = tmp_path / "m.pcf"
+    p.write_text(src)
+    assert main(["races", str(p)]) == 0
+    base = capsys.readouterr().out
+    assert main(["races", str(p), "--all"]) == 0
+    full = capsys.readouterr().out
+    assert "multiple-values" not in base
+    assert "multiple-values" in full
+
+
+# -- obs report -------------------------------------------------------------
+
+
+def make_profile(tmp_path, racy_file):
+    out = tmp_path / "prof.jsonl"
+    assert main(["analyze", racy_file, "--profile", str(out)]) == 0
+    return str(out)
+
+
+def test_obs_report_end_to_end(tmp_path, racy_file, capsys):
+    prof = make_profile(tmp_path, racy_file)
+    base = tmp_path / "base.json"
+    assert main(["obs", "report", prof, "--json", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "obs report: 1 file(s)" in out
+    data = json.loads(base.read_text())
+    assert data["schema"] == "repro-obs-report/1"
+
+    # Against its own baseline: pass.
+    assert main(["obs", "report", prof, "--baseline", str(base)]) == 0
+    assert "baseline check passed" in capsys.readouterr().out
+
+    # Tampered baseline: regression, exit 2.
+    data["counters"] = {k: 0 for k in data["counters"]}
+    base.write_text(json.dumps(data))
+    assert main(["obs", "report", prof, "--baseline", str(base)]) == 2
+    captured = capsys.readouterr()
+    assert "baseline regressions:" in captured.out
+    assert "regression(s)" in captured.err
+
+
+def test_obs_report_determinism(tmp_path, racy_file, capsys):
+    prof = make_profile(tmp_path, racy_file)
+    capsys.readouterr()
+    assert main(["obs", "report", prof]) == 0
+    first = capsys.readouterr().out
+    assert main(["obs", "report", prof]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_obs_report_bad_input_exits_1(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("nope\n")
+    assert main(["obs", "report", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_obs_report_bad_baseline_exits_1(tmp_path, racy_file, capsys):
+    prof = make_profile(tmp_path, racy_file)
+    missing = tmp_path / "missing.json"
+    assert main(["obs", "report", prof, "--baseline", str(missing)]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -151,6 +151,7 @@ def test_run_case_record_shape():
         "system-bounds",
         "pipeline-invariants",
         "metamorphic",
+        "provenance-chains",
     }
 
 

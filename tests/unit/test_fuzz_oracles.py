@@ -46,6 +46,7 @@ def test_registry_has_the_documented_oracles():
         "system-bounds",
         "pipeline-invariants",
         "metamorphic",
+        "provenance-chains",
     }
     assert set(default_oracle_names(dynamic=True)) == set(default_oracle_names()) | {
         "dynamic-selfcheck"

@@ -1,0 +1,270 @@
+"""Unit tests for histogram percentiles/reservoirs, full metrics merge,
+and the cross-run aggregator (:mod:`repro.obs.report`)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import RESERVOIR_SIZE, Histogram, Metrics
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    ReportError,
+    aggregate,
+    compare_to_baseline,
+    read_baseline,
+    render_report,
+    write_baseline,
+)
+
+# ---------------------------------------------------------------------------
+# Histogram satellite
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_exact_below_reservoir():
+    h = Histogram()
+    for v in range(1, 101):
+        h.observe(float(v))
+    assert h.percentile(50) == 50.0
+    assert h.percentile(90) == 90.0
+    assert h.percentile(99) == 99.0
+    assert h.percentile(100) == 100.0
+    assert h.percentile(0) == 1.0
+
+
+def test_percentile_empty_and_range():
+    h = Histogram()
+    assert h.percentile(50) is None
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_reservoir_is_bounded_and_deterministic():
+    a, b = Histogram(), Histogram()
+    for i in range(5 * RESERVOIR_SIZE):
+        a.observe(float(i))
+        b.observe(float(i))
+    assert a.count == 5 * RESERVOIR_SIZE
+    assert len(a.samples()) == RESERVOIR_SIZE
+    assert a.samples() == b.samples()
+    assert a.percentile(99) == b.percentile(99)
+
+
+def test_exact_summary_fields_survive_sampling():
+    h = Histogram()
+    for i in range(10_000):
+        h.observe(float(i))
+    assert (h.count, h.min, h.max) == (10_000, 0.0, 9999.0)
+    assert h.total == pytest.approx(sum(range(10_000)))
+
+
+def test_merge_state_combines_and_downsamples():
+    a, b = Histogram(), Histogram()
+    for i in range(400):
+        a.observe(float(i))
+    for i in range(400, 800):
+        b.observe(float(i))
+    state = {"count": b.count, "total": b.total, "min": b.min, "max": b.max,
+             "samples": b.samples()}
+    a.merge_state(state)
+    assert a.count == 800
+    assert (a.min, a.max) == (0.0, 799.0)
+    assert len(a.samples()) == RESERVOIR_SIZE
+    # Merged percentiles reflect both halves.
+    assert a.percentile(50) == pytest.approx(400, abs=8)
+
+
+def test_merge_is_deterministic():
+    def state(lo, hi):
+        h = Histogram()
+        for i in range(lo, hi):
+            h.observe(float(i))
+        return {"count": h.count, "total": h.total, "min": h.min, "max": h.max,
+                "samples": h.samples()}
+
+    x, y = Histogram(), Histogram()
+    for h in (x, y):
+        h.merge_state(state(0, 700))
+        h.merge_state(state(700, 1400))
+    assert x.samples() == y.samples()
+
+
+# ---------------------------------------------------------------------------
+# Metrics.merge satellite
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_merge_full_state():
+    worker = Metrics()
+    worker.inc("solve.runs", 3)
+    worker.set_gauge("mem", 10.0)
+    worker.set_gauge("mem", 4.0)  # value 4, max 10
+    for v in (1.0, 2.0, 3.0):
+        worker.observe("lat", v)
+
+    parent = Metrics()
+    parent.inc("solve.runs", 1)
+    parent.set_gauge("mem", 2.0)
+    parent.observe("lat", 9.0)
+    parent.merge(worker.export_state())
+
+    assert parent.counter("solve.runs").value == 4
+    assert parent.gauge("mem").value == 4.0
+    assert parent.gauge("mem").max == 10.0
+    h = parent.histogram("lat")
+    assert h.count == 4 and h.max == 9.0
+    assert h.samples() == [1.0, 2.0, 3.0, 9.0]
+
+
+def test_export_state_is_json_safe():
+    m = Metrics()
+    m.inc("a")
+    m.set_gauge("g", 1.5)
+    m.observe("h", 2.0)
+    json.dumps(m.export_state())
+
+
+def test_as_dict_carries_percentiles():
+    m = Metrics()
+    for v in range(100):
+        m.observe("h", float(v))
+    snap = m.as_dict()["histograms"]["h"]
+    assert snap["p50"] == 49.0 and snap["p90"] == 89.0 and snap["p99"] == 98.0
+
+
+def test_null_metrics_merge_is_noop():
+    obs.NULL_METRICS.merge({"counters": {"a": 1}, "gauges": {}, "histograms": {}})
+    assert obs.NULL_METRICS.counters == {}
+
+
+# ---------------------------------------------------------------------------
+# Aggregator
+# ---------------------------------------------------------------------------
+
+
+def write_obs(path, counters=(), histogram_samples=(), spans=()):
+    lines = [{"type": "meta", "schema": "repro-obs/1"}]
+    for name, value in counters:
+        lines.append({"type": "counter", "name": name, "value": value})
+    if histogram_samples:
+        samples = sorted(histogram_samples)
+        lines.append(
+            {
+                "type": "histogram",
+                "name": "lat",
+                "count": len(samples),
+                "total": sum(samples),
+                "min": samples[0],
+                "max": samples[-1],
+                "samples": samples,
+            }
+        )
+    for name, dur in spans:
+        lines.append(
+            {"type": "span", "name": name, "path": name, "depth": 0,
+             "start": 0.0, "dur": dur, "attrs": {}}
+        )
+    path.write_text("\n".join(json.dumps(r) for r in lines) + "\n")
+    return str(path)
+
+
+def write_batch(path, statuses=("ok",)):
+    lines = [{"type": "meta", "schema": "repro-batch/1", "workers": 1,
+              "inputs": len(statuses), "options": {}}]
+    for i, status in enumerate(statuses):
+        lines.append(
+            {"type": "task", "file": f"p{i}.pcf", "status": status,
+             "code": 0 if status in ("ok", "degraded") else 2,
+             "wall_s": 0.25, "counters": {"solve.runs": 1},
+             "metrics": {"gauges": {}, "histograms": {}}}
+        )
+    lines.append({"type": "summary", "total": len(statuses)})
+    path.write_text("\n".join(json.dumps(r) for r in lines) + "\n")
+    return str(path)
+
+
+def write_fuzz(path, statuses=("ok",)):
+    lines = [{"type": "meta", "schema": "repro-fuzz/1"}]
+    for i, status in enumerate(statuses):
+        lines.append({"type": "case", "seed": i, "status": status, "wall_s": 0.1})
+    path.write_text("\n".join(json.dumps(r) for r in lines) + "\n")
+    return str(path)
+
+
+def test_aggregate_mixes_all_three_schemas(tmp_path):
+    files = [
+        write_obs(tmp_path / "a.jsonl", counters=[("solve.runs", 2)],
+                  histogram_samples=[1.0, 2.0], spans=[("solve", 0.5)]),
+        write_batch(tmp_path / "b.jsonl", statuses=("ok", "failed")),
+        write_fuzz(tmp_path / "c.jsonl", statuses=("ok", "ok")),
+    ]
+    report = aggregate(files)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["inputs"]["by_schema"] == {
+        "repro-batch/1": 1, "repro-fuzz/1": 1, "repro-obs/1": 1
+    }
+    # obs counter + the two batch task counters
+    assert report["counters"]["solve.runs"] == 4
+    assert report["tasks"]["batch task"]["total"] == 2
+    assert report["tasks"]["batch task"]["failures"] == 1
+    assert report["tasks"]["fuzz case"]["failures"] == 0
+    assert report["histograms"]["lat"]["p50"] == 1.0
+    assert report["spans"]["slowest"][0]["path"] == "solve"
+
+
+def test_aggregate_is_argument_order_independent(tmp_path):
+    a = write_obs(tmp_path / "a.jsonl", counters=[("x", 1)])
+    b = write_batch(tmp_path / "b.jsonl")
+    r1, r2 = aggregate([a, b]), aggregate([b, a])
+    assert json.dumps(r1, sort_keys=True) == json.dumps(r2, sort_keys=True)
+    assert render_report(r1) == render_report(r2)
+
+
+def test_aggregate_rejects_bad_inputs(tmp_path):
+    with pytest.raises(ReportError):
+        aggregate([])
+    missing = tmp_path / "missing.jsonl"
+    with pytest.raises(ReportError):
+        aggregate([str(missing)])
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    with pytest.raises(ReportError):
+        aggregate([str(bad)])
+    unknown = tmp_path / "unknown.jsonl"
+    unknown.write_text(json.dumps({"type": "meta", "schema": "other/9"}) + "\n")
+    with pytest.raises(ReportError):
+        aggregate([str(unknown)])
+
+
+def test_baseline_round_trip_and_gate(tmp_path):
+    a = write_obs(tmp_path / "a.jsonl", counters=[("solve.runs", 10)])
+    report = aggregate([a])
+    base_path = tmp_path / "base.json"
+    write_baseline(base_path, report)
+    baseline = read_baseline(base_path)
+    assert compare_to_baseline(report, baseline) == []
+    # 10% tolerance: 11 passes, 12 regresses.
+    ok = aggregate([write_obs(tmp_path / "b.jsonl", counters=[("solve.runs", 11)])])
+    assert compare_to_baseline(ok, baseline, tolerance=0.1) == []
+    bad = aggregate([write_obs(tmp_path / "c.jsonl", counters=[("solve.runs", 12)])])
+    problems = compare_to_baseline(bad, baseline, tolerance=0.1)
+    assert problems and "solve.runs" in problems[0]
+
+
+def test_baseline_flags_new_failures(tmp_path):
+    clean = aggregate([write_batch(tmp_path / "a.jsonl", statuses=("ok",))])
+    broken = aggregate(
+        [write_batch(tmp_path / "b.jsonl", statuses=("ok", "crashed"))]
+    )
+    assert compare_to_baseline(broken, clean) != []
+    # New counters (no baseline entry) are informational, not regressions.
+    assert compare_to_baseline(clean, broken) == []
+
+
+def test_read_baseline_rejects_non_reports(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ReportError):
+        read_baseline(p)
