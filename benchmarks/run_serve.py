@@ -1,0 +1,407 @@
+"""Record (or check) ``repro serve`` daemon behavior under load and chaos.
+
+Boots a real daemon (``python -m repro serve``, subprocess, ephemeral
+port via ``--ready-file``) and drives four drills through it with a
+thread-pool of keep-alive clients:
+
+``steady``
+    A synthetic corpus served repeatedly from several client threads:
+    requests/s, p50/p99 latency (context), per-program outcomes and the
+    warm-cache floor (deterministic) — every repeat past each worker's
+    first computation of a program must be a ``serve``-namespace cache
+    hit, so ``cache.serve.hits >= requests - programs * workers``.
+
+``chaos``
+    Deterministic fault schedule against a ``--chaos`` daemon: injected
+    worker kills that recover under retry (``ok``, attempts 2), kills
+    that exhaust the allowance (``crashed``), and a deadline blow-out
+    (``timeout``).  Exact status counts are compared; the zero-lost
+    invariant (one terminal response per request) is a hard gate.
+
+``shed``
+    A 12-request burst into ``workers=1, max_pending=3`` with injected
+    latency: every request answers ``ok`` or ``shed`` (fast 429), none
+    hang, none are lost.  The ok/shed split is timing-dependent and
+    recorded as context only.
+
+``drain``
+    SIGTERM with a slow request in flight: the in-flight request still
+    gets its terminal response, the daemon exits 0, telemetry is flushed.
+
+``--check`` re-runs all drills and compares every deterministic field
+against the checked-in ``benchmarks/BENCH_serve.json``.  Regenerate with
+the bare command after any change that legitimately moves the counts.
+
+Run:    PYTHONPATH=src python benchmarks/run_serve.py [OUT.json]
+Check:  PYTHONPATH=src python benchmarks/run_serve.py --check
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import pretty
+from repro.obs import read_jsonl
+from repro.serve import ServeClient
+from repro.synthetic import (
+    chain,
+    diamond_chain,
+    fig3_repeated,
+    random_mix,
+    wide_parallel,
+)
+
+WORKERS = 2
+CLIENT_THREADS = 4
+STEADY_REPEATS = 3
+
+#: Corpus: converges under the default budget at full precision, so the
+#: steady drill measures serving overhead, not analysis pathology.
+CORPUS = {
+    "chain200": lambda: chain(200),
+    "diamonds40": lambda: diamond_chain(40),
+    "fig3x3": lambda: fig3_repeated(3),
+    "mix200": lambda: random_mix(seed=7, n_stmts=200),
+    "wide4x4": lambda: wide_parallel(4, 4),
+}
+
+
+class Daemon:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, *extra_args: str, telemetry: str | None = None):
+        self._dir = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
+        ready = Path(self._dir.name) / "ready.json"
+        self.telemetry = telemetry
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--ready-file",
+            str(ready),
+        ]
+        if telemetry:
+            args += ["--telemetry", telemetry]
+        args += list(extra_args)
+        self.proc = subprocess.Popen(
+            args, env=env, stderr=subprocess.PIPE, text=True
+        )
+        deadline = time.monotonic() + 30
+        while not ready.exists() and time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon died on startup: {self.proc.stderr.read()}"
+                )
+            time.sleep(0.02)
+        if not ready.exists():
+            self.proc.kill()
+            raise RuntimeError("daemon did not write ready-file within 30s")
+        for _ in range(50):  # belt-and-braces vs a slow rename becoming visible
+            try:
+                self.port = json.loads(ready.read_text())["port"]
+                break
+            except (json.JSONDecodeError, FileNotFoundError):
+                time.sleep(0.02)
+        else:
+            self.proc.kill()
+            raise RuntimeError("ready-file never became valid JSON")
+
+    def client(self) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port)
+
+    def sigterm_and_wait(self, timeout_s: float = 30.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout_s)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(5)
+        self._dir.cleanup()
+
+
+def percentile(values: list[float], pct: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, -(-int(pct * len(ordered)) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def drill_steady(daemon: Daemon) -> dict:
+    sources = {name: pretty(make()) for name, make in sorted(CORPUS.items())}
+    jobs = [
+        (name, src)
+        for _ in range(STEADY_REPEATS)
+        for name, src in sources.items()
+    ] * CLIENT_THREADS  # each thread-equivalent sends the whole corpus
+    latencies: list[float] = []
+    outcomes: dict[str, dict] = {}
+    lost = 0
+
+    def fire(args):
+        name, src = args
+        with ServeClient("127.0.0.1", daemon.port) as c:
+            t0 = time.perf_counter()
+            http, env = c.rpc(src, f"steady-{name}")
+            return name, http, env, (time.perf_counter() - t0) * 1000.0
+
+    t_start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        for name, http, env, ms in pool.map(fire, jobs):
+            latencies.append(ms)
+            if http != 200 or env.get("status") not in ("ok", "degraded"):
+                lost += 1
+                continue
+            outcomes[name] = {
+                "status": env["status"],
+                "code": env["code"],
+                "digest": env["result"]["digest"],
+                "system": env["result"]["system"],
+            }
+    wall = time.perf_counter() - t_start
+    with daemon.client() as c:
+        counters = c.healthz()["counters"]
+    requests = len(jobs)
+    serve_hits = int(counters.get("cache.serve.hits", 0))
+    return {
+        "deterministic": {
+            "requests": requests,
+            "lost": lost,
+            "programs": outcomes,
+            "cache_floor_ok": serve_hits >= requests - len(sources) * WORKERS,
+        },
+        "context": {
+            "rps": round(requests / wall, 1),
+            "p50_ms": round(percentile(latencies, 50), 3),
+            "p99_ms": round(percentile(latencies, 99), 3),
+            "cache_serve_hits": serve_hits,
+            "cache_hit_rate": round(serve_hits / requests, 3),
+        },
+    }
+
+
+#: (count, chaos, options, expected status, expected attempts)
+CHAOS_SCHEDULE = [
+    (6, {"kill_attempts": 1}, None, "ok", 2),
+    (2, {"kill_attempts": 99}, None, "crashed", 2),
+    (1, {"delay_ms": 5000}, {"deadline_s": 0.5}, "timeout", 1),
+    (4, {"delay_ms": 25}, None, "ok", 1),
+]
+
+
+def drill_chaos(daemon: Daemon) -> dict:
+    src = pretty(CORPUS["chain200"]())
+    expected: dict[str, int] = {}
+    results: dict[str, int] = {}
+    attempts_ok = True
+    lost = 0
+    sent = 0
+    for count, chaos, options, want_status, want_attempts in CHAOS_SCHEDULE:
+        expected[want_status] = expected.get(want_status, 0) + count
+        for i in range(count):
+            sent += 1
+            with daemon.client() as c:
+                http, env = c.rpc(src, f"chaos-{sent}", options=options, chaos=chaos)
+            status = env.get("status")
+            if status is None:
+                lost += 1
+                continue
+            results[status] = results.get(status, 0) + 1
+            if env.get("attempts") != want_attempts:
+                attempts_ok = False
+    return {
+        "deterministic": {
+            "sent": sent,
+            "lost": lost,
+            "by_status": dict(sorted(results.items())),
+            "expected": dict(sorted(expected.items())),
+            "attempts_as_scheduled": attempts_ok,
+        }
+    }
+
+
+def drill_shed() -> dict:
+    daemon = Daemon(
+        "--workers", "1", "--max-queue", "3", "--chaos",
+    )
+    n = 12
+    try:
+        src = pretty(CORPUS["chain200"]())
+
+        def fire(i):
+            with daemon.client() as c:
+                return c.rpc(src, f"shed-{i}", chaos={"delay_ms": 300})
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=n) as pool:
+            results = list(pool.map(fire, range(n)))
+        ok = sum(1 for _, env in results if env.get("status") == "ok")
+        shed = sum(1 for _, env in results if env.get("status") == "shed")
+        shed_http_ok = all(
+            http == 429 for http, env in results if env.get("status") == "shed"
+        )
+        return {
+            "deterministic": {
+                "sent": n,
+                "lost": n - ok - shed,
+                "terminal_statuses_only": ok + shed == n,
+                "shed_rides_http_429": shed_http_ok,
+                "some_shed": shed >= 1,
+            },
+            "context": {"ok": ok, "shed": shed},
+        }
+    finally:
+        daemon.stop()
+
+
+def drill_drain(telemetry_dir: Path) -> dict:
+    telemetry = str(telemetry_dir / "serve_obs.jsonl")
+    daemon = Daemon("--workers", "1", "--chaos", telemetry=telemetry)
+    try:
+        src = pretty(CORPUS["chain200"]())
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            slow = pool.submit(
+                lambda: daemon.client().rpc(src, "inflight", chaos={"delay_ms": 800})
+            )
+            time.sleep(0.2)  # the slow request is now on a worker
+            exit_code = daemon.sigterm_and_wait()
+            http, env = slow.result(timeout=30)
+        telemetry_records = read_jsonl(telemetry)
+        flushed = any(
+            r.get("type") == "counter" and r.get("name") == "serve.requests"
+            for r in telemetry_records
+        )
+        return {
+            "deterministic": {
+                "exit_code": exit_code,
+                "inflight_status": env.get("status"),
+                "inflight_completed": env.get("status") == "ok",
+                "telemetry_flushed": flushed,
+            }
+        }
+    finally:
+        daemon.stop()
+
+
+def measure() -> dict:
+    out: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-out-") as tmp:
+        daemon = Daemon("--workers", str(WORKERS), "--chaos")
+        try:
+            out["steady"] = drill_steady(daemon)
+            out["chaos"] = drill_chaos(daemon)
+        finally:
+            daemon.stop()
+        out["shed"] = drill_shed()
+        out["drain"] = drill_drain(Path(tmp))
+    return out
+
+
+def gate_failures(fresh: dict) -> list[str]:
+    """Invariants that must hold on every machine, recorded or not."""
+    failures = []
+    for drill in ("steady", "chaos", "shed"):
+        lost = fresh[drill]["deterministic"].get("lost")
+        if lost != 0:
+            failures.append(f"{drill}: {lost} request(s) lost (must be 0)")
+    if not fresh["steady"]["deterministic"]["cache_floor_ok"]:
+        failures.append(
+            "steady: warm-cache floor broken — repeats are not solver-free"
+        )
+    chaos = fresh["chaos"]["deterministic"]
+    if chaos["by_status"] != chaos["expected"]:
+        failures.append(
+            f"chaos: outcomes {chaos['by_status']!r} != scheduled {chaos['expected']!r}"
+        )
+    if not chaos["attempts_as_scheduled"]:
+        failures.append("chaos: attempts counts diverge from the schedule")
+    for key in ("terminal_statuses_only", "shed_rides_http_429", "some_shed"):
+        if not fresh["shed"]["deterministic"][key]:
+            failures.append(f"shed: invariant {key} broken")
+    drain = fresh["drain"]["deterministic"]
+    if drain["exit_code"] != 0:
+        failures.append(f"drain: daemon exited {drain['exit_code']} (want 0)")
+    if not drain["inflight_completed"]:
+        failures.append(
+            f"drain: in-flight request got {drain['inflight_status']!r}, not ok"
+        )
+    if not drain["telemetry_flushed"]:
+        failures.append("drain: telemetry JSONL missing serve counters")
+    return failures
+
+
+def check(path: Path) -> int:
+    recorded = json.loads(path.read_text())
+    fresh = measure()
+    failures = gate_failures(fresh)
+    for drill in sorted(fresh):
+        want = recorded["drills"].get(drill, {}).get("deterministic")
+        got = fresh[drill]["deterministic"]
+        if want != got:
+            failures.append(f"{drill}: recorded {want!r} != measured {got!r}")
+    steady = fresh["steady"]["context"]
+    print(
+        f"steady: {steady['rps']} req/s, p50 {steady['p50_ms']}ms, "
+        f"p99 {steady['p99_ms']}ms, cache hit rate {steady['cache_hit_rate']}"
+    )
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s) vs {path}:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nRegenerate with: PYTHONPATH=src python benchmarks/run_serve.py")
+        return 1
+    print(f"OK: {path} in sync across {len(fresh)} drills")
+    return 0
+
+
+def write(path: Path) -> int:
+    fresh = measure()
+    failures = gate_failures(fresh)
+    if failures:
+        print("FAIL: refusing to record a broken baseline:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    payload = {
+        "meta": {
+            "source": "benchmarks/run_serve.py",
+            "python": platform.python_version(),
+            "workers": WORKERS,
+            "client_threads": CLIENT_THREADS,
+            "note": "context blocks (rps/latency/ok-shed split) are "
+            "machine-dependent and not compared; --check compares every "
+            "'deterministic' block and enforces the zero-lost, cache-floor, "
+            "chaos-schedule, and drain gates",
+        },
+        "drills": fresh,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    steady = fresh["steady"]["context"]
+    print(
+        f"wrote {len(fresh)} drill records to {path} "
+        f"({steady['rps']} req/s steady, cache hit rate {steady['cache_hit_rate']})"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    default = Path(__file__).parent / "BENCH_serve.json"
+    if "--check" in argv:
+        return check(default)
+    return write(Path(argv[0]) if argv else default)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

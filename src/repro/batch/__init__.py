@@ -32,6 +32,7 @@ from .manifest import (
     SCHEMA,
     ManifestWriter,
     batch_exit_code,
+    load_resume_records,
     read_manifest,
     render_batch_summary,
     summary_record,
@@ -46,6 +47,7 @@ __all__ = [
     "SCHEMA",
     "ManifestWriter",
     "batch_exit_code",
+    "load_resume_records",
     "read_manifest",
     "render_batch_summary",
     "summary_record",

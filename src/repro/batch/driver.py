@@ -120,6 +120,7 @@ def run_task(path: str, options: BatchOptions) -> Dict[str, object]:
         "sync_issues": None,
         "degradation": None,
         "interp": None,
+        "attempts": 1,  # the driver overrides after worker-crash retries
     }
     with obs.session() as sess:
         try:
@@ -193,9 +194,11 @@ def run_task(path: str, options: BatchOptions) -> Dict[str, object]:
     return record
 
 
-def _crash_record(path: str, err: BaseException) -> Dict[str, object]:
+def _crash_record(path: str, err: BaseException, attempts: int = 1) -> Dict[str, object]:
     """Record for a task whose *worker process* died (``run_task`` itself
-    never raises) — e.g. the pool broke under memory pressure."""
+    never raises) — e.g. the pool broke under memory pressure.  Written
+    only once the retry allowance (see :func:`run_batch`) is exhausted;
+    ``attempts`` records how many tries the task was given."""
     return {
         "type": "task",
         "file": str(path),
@@ -210,6 +213,7 @@ def _crash_record(path: str, err: BaseException) -> Dict[str, object]:
         "sync_issues": None,
         "degradation": None,
         "interp": None,
+        "attempts": attempts,
         "wall_s": 0.0,
         "counters": {},
         "metrics": {},
@@ -244,6 +248,10 @@ def run_batch(
     options: Optional[BatchOptions] = None,
     workers: int = 1,
     manifest_path: Optional[Union[str, Path]] = None,
+    retries: int = 1,
+    retry_backoff_s: float = 0.1,
+    resume: bool = False,
+    task_fn=None,
 ) -> BatchReport:
     """Analyze every program in ``paths``; see the module docstring.
 
@@ -251,14 +259,48 @@ def run_batch(
     order); ``workers > 1`` shards across a process pool and records
     arrive in completion order.  ``manifest_path`` streams the
     ``repro-batch/1`` JSONL manifest as results land.
+
+    **Crash retry**: a task whose *worker process* died (``run_task``
+    itself never raises, so a lost future means infrastructure trouble —
+    an OOM-killed worker breaks the whole pool and fails every in-flight
+    future with it) is resubmitted on a fresh pool up to ``retries``
+    times, with capped exponential backoff between rounds, before a
+    terminal ``crashed`` record is written.  Every task record carries
+    ``attempts`` (1 = first try succeeded).
+
+    **Resume**: with ``resume=True`` and an existing ``manifest_path``,
+    tasks that already have a terminal record in the manifest are skipped
+    and only the missing ones run; new records are *appended* to the same
+    manifest and the closing summary covers old and new together — a
+    crash-interrupted campaign picks up where it left off.
+
+    ``task_fn`` overrides the per-task entry point (a picklable callable
+    with :func:`run_task`'s signature) — a fault-injection hook for tests.
     """
+    from .manifest import load_resume_records
+
     options = options if options is not None else BatchOptions()
     paths = [str(p) for p in paths]
+    task = task_fn if task_fn is not None else run_task
+    retries = max(0, retries)
     tracer = get_tracer()
     metrics = get_metrics()
+
+    prior_records: List[Dict[str, object]] = []
+    if resume:
+        if manifest_path is None:
+            raise ValueError("resume=True requires a manifest_path")
+        prior_records = load_resume_records(manifest_path)
+        done = {str(rec.get("file")) for rec in prior_records}
+        paths = [p for p in paths if p not in done]
+
     writer = (
         ManifestWriter(
-            manifest_path, workers=workers, inputs=len(paths), options=asdict(options)
+            manifest_path,
+            workers=workers,
+            inputs=len(paths),
+            options=asdict(options),
+            append=bool(prior_records),
         )
         if manifest_path is not None
         else None
@@ -282,27 +324,52 @@ def run_batch(
                 }
             )
 
+    def run_pooled(pending: List[str]) -> None:
+        """Pool rounds with crash retry: each round runs every still-pending
+        path; crashes are collected and resubmitted on a *fresh* pool (a
+        broken pool poisons every later submit) after a capped backoff."""
+        attempts: Dict[str, int] = {p: 0 for p in pending}
+        round_no = 0
+        while pending:
+            crashed: List[tuple] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                future_to_path = {
+                    pool.submit(task, path, options): path for path in pending
+                }
+                for future in as_completed(future_to_path):
+                    path = future_to_path[future]
+                    try:
+                        record = future.result()
+                    except Exception as err:  # BrokenProcessPool and kin
+                        attempts[path] += 1
+                        crashed.append((path, err))
+                        continue
+                    record["attempts"] = attempts[path] + 1
+                    finish(record)
+            pending = []
+            for path, err in crashed:
+                if attempts[path] > retries:
+                    finish(_crash_record(path, err, attempts=attempts[path]))
+                else:
+                    if metrics.enabled:
+                        metrics.inc("batch.retries")
+                    pending.append(path)
+            if pending:
+                round_no += 1
+                time.sleep(min(2.0, retry_backoff_s * (2 ** (round_no - 1))))
+
     try:
         with tracer.span("batch", workers=workers, tasks=len(paths)):
             if workers <= 1:
                 for path in paths:
-                    finish(run_task(path, options))
+                    finish(task(path, options))
             else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    future_to_path = {
-                        pool.submit(run_task, path, options): path for path in paths
-                    }
-                    for future in as_completed(future_to_path):
-                        path = future_to_path[future]
-                        try:
-                            record = future.result()
-                        except Exception as err:  # BrokenProcessPool and kin
-                            record = _crash_record(path, err)
-                        finish(record)
+                run_pooled(list(paths))
         wall = time.perf_counter() - t0
+        all_records = prior_records + records
         if writer is not None:
-            writer.write_summary(records, wall)
+            writer.write_summary(all_records, wall)
     finally:
         if writer is not None:
             writer.close()
-    return BatchReport(records=records, workers=workers, wall_s=wall)
+    return BatchReport(records=prior_records + records, workers=workers, wall_s=wall)

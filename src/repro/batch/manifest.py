@@ -48,6 +48,12 @@ class ManifestWriter:
     The meta line is written (and flushed) at construction, each task
     record as it completes, and the summary on :meth:`write_summary` —
     an interrupted batch therefore leaves a readable prefix behind.
+
+    ``append=True`` is the resume mode: the existing file (whose meta
+    line already stamps the schema) is opened for append and only new
+    task records plus a fresh cumulative summary are added — consumers
+    keep reading ``records[0]`` for meta and ``records[-1]`` for the
+    latest summary.
     """
 
     def __init__(
@@ -56,19 +62,21 @@ class ManifestWriter:
         workers: int,
         inputs: int,
         options: Optional[Dict[str, object]] = None,
+        append: bool = False,
     ):
         self.path = Path(path)
-        self._fh = self.path.open("w")
+        self._fh = self.path.open("a" if append else "w")
         self._count = 0
-        self._write(
-            {
-                "type": "meta",
-                "schema": SCHEMA,
-                "workers": workers,
-                "inputs": inputs,
-                "options": options or {},
-            }
-        )
+        if not append:
+            self._write(
+                {
+                    "type": "meta",
+                    "schema": SCHEMA,
+                    "workers": workers,
+                    "inputs": inputs,
+                    "options": options or {},
+                }
+            )
 
     def _write(self, record: Record) -> None:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -123,6 +131,44 @@ def read_manifest(path: Union[str, Path]) -> List[Record]:
     if not records or records[0].get("schema") != SCHEMA:
         raise ValueError(f"{path}: not a {SCHEMA} manifest")
     return records
+
+
+def load_resume_records(path: Union[str, Path]) -> List[Record]:
+    """The terminal ``task`` records of a (possibly partial) manifest, for
+    ``repro batch --resume``.
+
+    A crash-interrupted batch leaves a manifest with a meta line, zero or
+    more complete task lines, possibly **no** summary, and possibly a
+    truncated final line (the process died mid-write) — so this reader is
+    line-tolerant: malformed lines are skipped rather than fatal.  The
+    schema stamp on line one is still mandatory (resuming against some
+    other JSONL file is an error, not an empty resume).  A missing file
+    is a fresh start: returns ``[]``.
+    """
+    import json as _json
+
+    p = Path(path)
+    if not p.exists():
+        return []
+    tasks: List[Record] = []
+    first = True
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = _json.loads(line)
+        except _json.JSONDecodeError:
+            continue  # truncated tail of an interrupted run
+        if first:
+            if record.get("schema") != SCHEMA:
+                raise ValueError(f"{path}: not a {SCHEMA} manifest")
+            first = False
+        if record.get("type") == "task":
+            tasks.append(record)
+    # ``first`` still True = no parseable line at all (empty/truncated-at-
+    # -birth file): a fresh start, not an error.
+    return tasks
 
 
 def _task_detail(rec: Record) -> str:

@@ -45,6 +45,7 @@ different-parse entry as a miss.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -71,6 +72,13 @@ class AnalysisCache:
     Keys are tuples whose first element names the **namespace**
     (``"pfg"``, ``"analyze"``, …) — used only for per-namespace metric
     counters; all namespaces share the one LRU so the bound is global.
+
+    **Concurrency**: every operation that touches the store or counters
+    holds an :class:`threading.RLock` — the ``repro serve`` daemon runs
+    concurrent sessions against warm caches (and any threaded client may
+    share :data:`GLOBAL_CACHE`); an unguarded LRU reorder racing an
+    eviction would corrupt the ``OrderedDict``.  The lock is re-entrant
+    because a ``valid`` predicate may itself consult the cache.
     """
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE, enabled: bool = True):
@@ -80,12 +88,15 @@ class AnalysisCache:
         self.misses = 0
         self.evictions = 0
         self._store: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     @staticmethod
     def _namespace(key: Tuple) -> str:
@@ -109,50 +120,54 @@ class AnalysisCache:
             return default
         m = get_metrics()
         ns = self._namespace(key)
-        value = self._store.get(key, _MISSING)
-        if value is not _MISSING and valid is not None and not valid(value):
-            del self._store[key]
-            value = _MISSING
-        if value is _MISSING:
-            self.misses += 1
+        with self._lock:
+            value = self._store.get(key, _MISSING)
+            if value is not _MISSING and valid is not None and not valid(value):
+                del self._store[key]
+                value = _MISSING
+            if value is _MISSING:
+                self.misses += 1
+                if m.enabled:
+                    m.inc("cache.misses")
+                    m.inc(f"cache.{ns}.misses")
+                return default
+            self._store.move_to_end(key)
+            self.hits += 1
             if m.enabled:
-                m.inc("cache.misses")
-                m.inc(f"cache.{ns}.misses")
-            return default
-        self._store.move_to_end(key)
-        self.hits += 1
-        if m.enabled:
-            m.inc("cache.hits")
-            m.inc(f"cache.{ns}.hits")
-        return value
+                m.inc("cache.hits")
+                m.inc(f"cache.{ns}.hits")
+            return value
 
     def put(self, key: Tuple, value: object) -> None:
         """Store ``value`` under ``key``, evicting the least recently used
         entry when full.  No-op on a disabled cache."""
         if not self.enabled:
             return
-        self._store[key] = value
-        self._store.move_to_end(key)
-        if len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
-            self.evictions += 1
-            m = get_metrics()
-            if m.enabled:
-                m.inc("cache.evictions")
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self.evictions += 1
+                m = get_metrics()
+                if m.enabled:
+                    m.inc("cache.evictions")
 
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe the
         process, not the current contents)."""
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "size": len(self._store),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._store),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 #: Process-wide default cache used by :func:`repro.analyze` and

@@ -1,0 +1,78 @@
+"""repro.serve — the fault-tolerant analysis-as-a-service daemon.
+
+``python -m repro serve --port N --workers K`` runs a long-lived asyncio
+JSON-RPC-over-HTTP daemon (stdlib only) that executes analyses in a
+supervised process pool with warm per-worker caches.  The robustness
+machinery is the point:
+
+* **supervised workers** — a crashed worker is killed and respawned; the
+  request is retried with capped exponential backoff + jitter before a
+  typed ``crashed`` response surfaces on the wire
+  (:mod:`repro.serve.supervisor`);
+* **per-request deadlines** — every request arms a fresh
+  :class:`~repro.dataflow.budget.ResourceBudget`; a deadline-blown worker
+  is killed, not waited on;
+* **admission control** — a bounded pending queue; overload gets a fast
+  ``shed`` (HTTP 429) response, never unbounded buffering
+  (:mod:`repro.serve.admission`);
+* **load-aware degradation** — queue depth / p99 latency thresholds step
+  new requests down the :mod:`repro.robust.degrade` ladder (full →
+  no-preserved → conservative);
+* **graceful drain** — SIGTERM stops admission, finishes in-flight work,
+  flushes JSONL telemetry, then exits.
+
+The invariant the chaos drills (``benchmarks/run_serve.py --chaos``)
+enforce: **every admitted request receives exactly one terminal
+``repro-serve/1`` response** — no hangs, no duplicates, no losses.  See
+``docs/serving.md``.
+"""
+
+from .admission import ADMITTED, DRAINING, SHED, AdmissionController, DegradationPolicy
+from .app import ServeApp, ServeConfig, ServerThread, run_server
+from .client import ServeClient
+from .protocol import (
+    HTTP_STATUS,
+    SCHEMA,
+    STATUS_CODES,
+    ProtocolError,
+    classify,
+    http_status,
+    response,
+    validate_request,
+)
+from .supervisor import (
+    PoolStopped,
+    ProcessWorker,
+    Supervisor,
+    WorkerCrash,
+    WorkerTimeout,
+)
+from .worker import execute_request, worker_main
+
+__all__ = [
+    "ADMITTED",
+    "DRAINING",
+    "SHED",
+    "AdmissionController",
+    "DegradationPolicy",
+    "HTTP_STATUS",
+    "PoolStopped",
+    "ProcessWorker",
+    "ProtocolError",
+    "SCHEMA",
+    "STATUS_CODES",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "Supervisor",
+    "WorkerCrash",
+    "WorkerTimeout",
+    "classify",
+    "execute_request",
+    "http_status",
+    "response",
+    "run_server",
+    "validate_request",
+    "worker_main",
+]

@@ -1,0 +1,129 @@
+"""Admission control and the load-aware degradation policy.
+
+Overload handling follows one rule: **never buffer unboundedly, never
+hang a client**.  The :class:`AdmissionController` tracks the number of
+admitted-but-unfinished requests; past ``max_pending`` it answers
+``shed`` *immediately* (the daemon maps that to a fast HTTP 429 without
+ever touching a worker), and once draining begins it answers
+``draining`` (HTTP 503) so load balancers rotate traffic away.
+
+Below the shed ceiling, the :class:`DegradationPolicy` decides how much
+precision the service can currently afford — the serving-layer analogue
+of the per-analysis ladder in :mod:`repro.robust.degrade`, and driven by
+the same worst-case-cost reality ("On the computational complexity of
+Data Flow Analysis", PAPERS.md): when queue depth or recent p99 latency
+crosses a threshold, new requests are served one rung down (full →
+no-preserved → conservative) instead of letting the queue grow.  Both
+classes are pure bookkeeping — no I/O, no clocks — so the transitions are
+unit-testable exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+#: ``try_admit`` outcomes.
+ADMITTED = "admitted"
+SHED = "shed"
+DRAINING = "draining"
+
+
+class AdmissionController:
+    """Bounded-pending admission: counts in-flight work, refuses past the
+    bound, and flips to refuse-everything once draining begins."""
+
+    def __init__(self, max_pending: int):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self.pending = 0
+        self.admitted = 0
+        self.shed = 0
+        self.drained_refusals = 0
+        self.draining = False
+
+    def try_admit(self) -> str:
+        """One of :data:`ADMITTED` / :data:`SHED` / :data:`DRAINING`.
+        An admitted caller **must** call :meth:`release` exactly once."""
+        with self._lock:
+            if self.draining:
+                self.drained_refusals += 1
+                return DRAINING
+            if self.pending >= self.max_pending:
+                self.shed += 1
+                return SHED
+            self.pending += 1
+            self.admitted += 1
+            return ADMITTED
+
+    def release(self) -> None:
+        with self._lock:
+            if self.pending <= 0:
+                raise RuntimeError("release() without a matching admit")
+            self.pending -= 1
+
+    def begin_drain(self) -> None:
+        with self._lock:
+            self.draining = True
+
+    def idle(self) -> bool:
+        """True once nothing admitted remains in flight."""
+        with self._lock:
+            return self.pending == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "pending": self.pending,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "drained_refusals": self.drained_refusals,
+                "draining": self.draining,
+            }
+
+
+class DegradationPolicy:
+    """Load → precision level (0 full, 1 no-preserved, 2 conservative).
+
+    Each threshold is optional (``None`` disables that trigger).  The
+    served level is the *worst* any live trigger demands: queue depth
+    ``>= queue_l2`` or p99 ``>= p99_ms_l2`` forces level 2; the ``_l1``
+    thresholds force level 1.  Thresholds are inclusive so a policy with
+    ``queue_l1=0`` degrades every request — useful for drills and tests.
+    """
+
+    def __init__(
+        self,
+        queue_l1: Optional[int] = None,
+        queue_l2: Optional[int] = None,
+        p99_ms_l1: Optional[float] = None,
+        p99_ms_l2: Optional[float] = None,
+    ):
+        self.queue_l1 = queue_l1
+        self.queue_l2 = queue_l2
+        self.p99_ms_l1 = p99_ms_l1
+        self.p99_ms_l2 = p99_ms_l2
+
+    def level(self, queue_depth: int, p99_ms: Optional[float]) -> int:
+        level = 0
+        if self.queue_l1 is not None and queue_depth >= self.queue_l1:
+            level = 1
+        if self.queue_l2 is not None and queue_depth >= self.queue_l2:
+            level = 2
+        if p99_ms is not None:
+            if self.p99_ms_l1 is not None and p99_ms >= self.p99_ms_l1 and level < 1:
+                level = 1
+            if self.p99_ms_l2 is not None and p99_ms >= self.p99_ms_l2:
+                level = 2
+        return level
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "queue_l1": self.queue_l1,
+            "queue_l2": self.queue_l2,
+            "p99_ms_l1": self.p99_ms_l1,
+            "p99_ms_l2": self.p99_ms_l2,
+        }

@@ -1,0 +1,106 @@
+"""Minimal blocking ``repro-serve/1`` client (stdlib ``http.client``).
+
+Used by the load-generator bench, the integration tests, and anyone
+embedding the daemon.  One :class:`ServeClient` owns one keep-alive
+connection and is **not** thread-safe — concurrent load uses one client
+per thread (exactly what :mod:`benchmarks.run_serve` does).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Tuple
+
+from . import protocol
+
+
+class ServeClient:
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        conn = self._connection()
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            resp = conn.getresponse()
+            payload = json.loads(resp.read().decode("utf-8"))
+            return resp.status, payload
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One transparent reconnect: the server may have closed an idle
+            # keep-alive connection between requests.
+            self.close()
+            conn = self._connection()
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            resp = conn.getresponse()
+            payload = json.loads(resp.read().decode("utf-8"))
+            return resp.status, payload
+
+    def rpc(
+        self,
+        source: str,
+        request_id: object,
+        options: Optional[Dict[str, object]] = None,
+        chaos: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """POST one analyze request; returns ``(http_status, envelope)``."""
+        params: Dict[str, object] = {"source": source}
+        if options:
+            params.update(options)
+        request: Dict[str, object] = {
+            "id": request_id,
+            "method": "analyze",
+            "params": params,
+        }
+        if chaos:
+            request["chaos"] = chaos
+        status, envelope = self._request(
+            "POST", "/rpc", json.dumps(request).encode("utf-8")
+        )
+        if isinstance(envelope, dict) and envelope.get("schema") == protocol.SCHEMA:
+            protocol.classify(envelope)  # validates status/code presence
+        return status, envelope
+
+    def healthz(self) -> Dict[str, object]:
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(f"/healthz returned {status}: {payload}")
+        return payload
+
+    def readyz(self) -> Tuple[int, Dict[str, object]]:
+        return self._request("GET", "/readyz")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -25,8 +25,17 @@ Commands
                        ``--manifest`` list) concurrently across
                        ``--workers`` processes; stream a ``repro-batch/1``
                        JSONL manifest (``--out``) and print a
-                       deterministic summary table
+                       deterministic summary table.  Crashed workers are
+                       retried (``--retries``); ``--resume MANIFEST``
+                       continues an interrupted campaign, skipping tasks
+                       already recorded
                        (:mod:`repro.batch`, ``docs/batch.md``).
+``serve``            — long-lived analysis daemon: JSON-RPC over HTTP
+                       with supervised workers, per-request deadlines,
+                       admission control (shed on overload), load-aware
+                       degradation, ``/healthz``/``/readyz`` endpoints
+                       and SIGTERM graceful drain
+                       (:mod:`repro.serve`, ``docs/serving.md``).
 ``fuzz``             — differential fuzzing campaign: generate seeded
                        programs (``--seeds A:B`` inclusive), run the
                        oracle battery (cross-solver, cross-system,
@@ -478,6 +487,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not paths:
         sys.stderr.write("error: no input programs (give files, globs, or --manifest)\n")
         return 1
+    manifest_out = args.out
+    resume = False
+    if args.resume:
+        if args.out and args.out != args.resume:
+            sys.stderr.write(
+                "error: --resume MANIFEST already names the output manifest; "
+                "drop --out or make them identical\n"
+            )
+            return 1
+        manifest_out = args.resume
+        resume = True
     options = BatchOptions(
         backend=args.backend,
         preserved=args.preserved,
@@ -489,13 +509,44 @@ def cmd_batch(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_loop_iters=args.max_loop_iters,
     )
-    report = run_batch(
-        paths, options, workers=max(1, args.workers), manifest_path=args.out
-    )
+    try:
+        report = run_batch(
+            paths,
+            options,
+            workers=max(1, args.workers),
+            manifest_path=manifest_out,
+            retries=max(0, args.retries),
+            resume=resume,
+        )
+    except ValueError as err:  # e.g. --resume against a non-manifest file
+        sys.stderr.write(f"error: {err}\n")
+        return 1
     sys.stdout.write(report.render_summary())
-    if args.out:
-        sys.stderr.write(f"wrote manifest to {args.out}\n")
+    if manifest_out:
+        sys.stderr.write(f"wrote manifest to {manifest_out}\n")
     return report.exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        max_pending=max(1, args.max_queue),
+        retries=max(0, args.retries),
+        deadline_s=args.deadline if args.deadline is not None else 10.0,
+        chaos=args.chaos,
+        telemetry_path=args.telemetry,
+        ready_file=args.ready_file,
+        drain_timeout_s=args.drain_timeout,
+        degrade_queue_l1=args.degrade_queue,
+        degrade_queue_l2=args.degrade_queue2,
+        degrade_p99_ms_l1=args.degrade_p99,
+        degrade_p99_ms_l2=args.degrade_p99 * 2 if args.degrade_p99 else None,
+    )
+    return run_server(config)
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -628,6 +679,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="process-pool size; 1 = serial in-process (deterministic order)",
     )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="resubmissions for a task whose worker process crashed "
+        "(capped backoff between rounds; 0 = record crashed immediately)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        help="continue an interrupted campaign: skip tasks with terminal "
+        "records in this repro-batch/1 manifest and append the rest to it",
+    )
     p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])
     p.add_argument(
@@ -647,6 +712,92 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     _add_budget_flags(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived analysis daemon (JSON-RPC over HTTP, supervised workers)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        metavar="N",
+        help="listen port (0 = ephemeral; see --ready-file)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="K",
+        help="supervised worker processes (each holds a warm analysis cache)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission bound: pending requests beyond this are shed (429)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="resubmissions after a worker crash before a 'crashed' response",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request budget deadline; a worker past it is killed",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max wait for in-flight requests during SIGTERM drain",
+    )
+    p.add_argument(
+        "--degrade-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queue depth at which new requests drop to no-preserved "
+        "(default: 2x workers; level-2 threshold doubles it)",
+    )
+    p.add_argument(
+        "--degrade-queue2",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queue depth forcing conservative-only (default: 2x --degrade-queue)",
+    )
+    p.add_argument(
+        "--degrade-p99",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="recent p99 latency (ms) that triggers degradation (off by default)",
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="honor per-request chaos directives (kill/delay) — drills only",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.jsonl",
+        help="flush the daemon's metrics as repro-obs/1 JSONL on drain",
+    )
+    p.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write {\"port\": N, \"pid\": N} once listening (for scripts/CI)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "fuzz",

@@ -186,3 +186,36 @@ def test_analyze_with_budget_skips_result_cache():
     a = analyze(prog)
     b = analyze(prog, budget=ResourceBudget(max_passes=1000))
     assert b is not a  # budgeted runs really run under their guard
+
+
+# -- thread-safety (the serve-daemon scenario) ----------------------------
+
+
+def test_concurrent_get_put_holds_bound_and_counters():
+    import threading
+
+    cache = AnalysisCache(maxsize=16)
+    errors = []
+
+    def hammer(worker_id):
+        try:
+            for i in range(500):
+                key = ("ns", (worker_id * 7 + i) % 48)
+                if cache.get(key, MISSING) is MISSING:
+                    cache.put(key, i)
+                if i % 100 == 0:
+                    cache.stats()
+                if i % 250 == 0:
+                    cache.clear()
+        except Exception as err:  # pragma: no cover - only on regression
+            errors.append(err)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    stats = cache.stats()
+    assert len(cache) <= 16
+    assert stats["hits"] + stats["misses"] == 8 * 500

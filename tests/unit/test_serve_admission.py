@@ -1,0 +1,124 @@
+"""Admission control and load-aware degradation policy: pure-bookkeeping
+transitions, tested exactly."""
+
+import threading
+
+import pytest
+
+from repro.serve.admission import (
+    ADMITTED,
+    DRAINING,
+    SHED,
+    AdmissionController,
+    DegradationPolicy,
+)
+
+
+class TestAdmissionController:
+    def test_admits_up_to_bound_then_sheds(self):
+        ctl = AdmissionController(max_pending=2)
+        assert ctl.try_admit() == ADMITTED
+        assert ctl.try_admit() == ADMITTED
+        assert ctl.try_admit() == SHED
+        assert ctl.try_admit() == SHED
+        snap = ctl.snapshot()
+        assert snap["pending"] == 2
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 2
+
+    def test_release_reopens_a_slot(self):
+        ctl = AdmissionController(max_pending=1)
+        assert ctl.try_admit() == ADMITTED
+        assert ctl.try_admit() == SHED
+        ctl.release()
+        assert ctl.try_admit() == ADMITTED
+
+    def test_release_without_admit_is_a_bug_not_a_decrement(self):
+        ctl = AdmissionController(max_pending=1)
+        with pytest.raises(RuntimeError):
+            ctl.release()
+
+    def test_draining_refuses_everything_even_with_room(self):
+        ctl = AdmissionController(max_pending=10)
+        ctl.begin_drain()
+        assert ctl.try_admit() == DRAINING
+        assert ctl.snapshot()["drained_refusals"] == 1
+        assert ctl.snapshot()["shed"] == 0  # drain refusals are not sheds
+
+    def test_idle_tracks_inflight_through_drain(self):
+        ctl = AdmissionController(max_pending=4)
+        ctl.try_admit()
+        ctl.try_admit()
+        ctl.begin_drain()
+        assert not ctl.idle()  # two admitted requests still in flight
+        ctl.release()
+        ctl.release()
+        assert ctl.idle()
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+    def test_concurrent_admits_never_exceed_bound(self):
+        ctl = AdmissionController(max_pending=8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer():
+            for _ in range(200):
+                decision = ctl.try_admit()
+                with lock:
+                    outcomes.append(decision)
+                if decision == ADMITTED:
+                    ctl.release()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ctl.pending == 0
+        assert len(outcomes) == 1600
+        snap = ctl.snapshot()
+        assert snap["admitted"] + snap["shed"] == 1600
+
+
+class TestDegradationPolicy:
+    def test_all_triggers_disabled_serves_full_precision(self):
+        policy = DegradationPolicy()
+        assert policy.level(queue_depth=10_000, p99_ms=10_000.0) == 0
+
+    def test_queue_thresholds_are_inclusive(self):
+        policy = DegradationPolicy(queue_l1=4, queue_l2=8)
+        assert policy.level(3, None) == 0
+        assert policy.level(4, None) == 1
+        assert policy.level(7, None) == 1
+        assert policy.level(8, None) == 2
+
+    def test_p99_thresholds(self):
+        policy = DegradationPolicy(p99_ms_l1=100.0, p99_ms_l2=500.0)
+        assert policy.level(0, None) == 0  # no latency signal yet
+        assert policy.level(0, 99.0) == 0
+        assert policy.level(0, 100.0) == 1
+        assert policy.level(0, 500.0) == 2
+
+    def test_worst_live_trigger_wins(self):
+        policy = DegradationPolicy(queue_l1=4, queue_l2=100, p99_ms_l1=50.0, p99_ms_l2=80.0)
+        # Queue says level 1, p99 says level 2 — serve level 2.
+        assert policy.level(5, 90.0) == 2
+        # p99 says level 1, queue says nothing — level 1.
+        assert policy.level(0, 60.0) == 1
+
+    def test_zero_threshold_degrades_everything(self):
+        # The drill configuration: every request served one rung down.
+        policy = DegradationPolicy(queue_l1=0)
+        assert policy.level(0, None) == 1
+
+    def test_describe_round_trips_thresholds(self):
+        policy = DegradationPolicy(queue_l1=2, queue_l2=4, p99_ms_l1=10.0)
+        assert policy.describe() == {
+            "queue_l1": 2,
+            "queue_l2": 4,
+            "p99_ms_l1": 10.0,
+            "p99_ms_l2": None,
+        }
