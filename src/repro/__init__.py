@@ -45,6 +45,7 @@ def analyze(
     budget=None,
     cache: bool = True,
     record_provenance: bool = False,
+    dense=None,
 ) -> ReachingDefsResult:
     """Analyze ``program`` with the most precise applicable equation system.
 
@@ -58,7 +59,12 @@ def analyze(
     visit-order-independent solution; ``"round-robin"`` is the paper's
     chaotic iteration (see DESIGN.md §5 "solver modes"); ``"scc"`` is the
     sparse SCC-scheduled engine (:mod:`repro.dataflow.sched`) — same
-    fixpoints, far fewer node updates on mostly-acyclic graphs.
+    fixpoints, far fewer node updates on mostly-acyclic graphs;
+    ``"scc-dense"`` additionally routes large cyclic regions through the
+    vectorized dense evaluator (:mod:`repro.dataflow.dense`) —
+    byte-identical fixpoints, matrix-shaped inner loop.  ``dense`` (a
+    :class:`repro.dataflow.dense.DenseConfig`) tunes the dense-region
+    thresholds and wavefront ``workers`` for either scc engine.
 
     ``budget`` is an optional :class:`repro.dataflow.ResourceBudget`
     bounding the whole analysis; exhaustion raises
@@ -91,6 +97,9 @@ def analyze(
             solver,
             preserved,
             record_provenance,
+            # Dense thresholds change dispatch counts in result.stats
+            # (never the sets); workers change neither — see DenseConfig.key.
+            dense.key() if dense is not None else None,
         )
         # Results are only valid for the exact AST analyzed (PFG nodes
         # hold statement objects; the interpreter matches by identity —
@@ -109,12 +118,12 @@ def analyze(
     if uses_sync:
         result = solve_synch(
             graph, backend=backend, order=order, solver=solver, preserved=preserved,
-            budget=budget, record_provenance=record_provenance,
+            budget=budget, record_provenance=record_provenance, dense=dense,
         )
     elif uses_parallel:
         result = solve_parallel(
             graph, backend=backend, order=order, solver=solver, budget=budget,
-            record_provenance=record_provenance,
+            record_provenance=record_provenance, dense=dense,
         )
     else:
         if solver == "stabilized":
@@ -123,7 +132,7 @@ def analyze(
             solver = "round-robin"
         result = solve_sequential(
             graph, backend=backend, order=order, solver=solver, budget=budget,
-            record_provenance=record_provenance,
+            record_provenance=record_provenance, dense=dense,
         )
     if key is not None:
         GLOBAL_CACHE.put(key, result)

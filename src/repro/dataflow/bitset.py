@@ -48,6 +48,9 @@ class SetBackend(Generic[S]):
 
     def __init__(self, universe: Sequence[Definition]):
         self.universe: List[Definition] = list(universe)
+        #: 64-bit words needed to pack one subset of the universe — the
+        #: row width of the packed (:class:`BulkView`) representation.
+        self.n_words = max(1, (len(self.universe) + 63) // 64)
 
     # -- constructors --------------------------------------------------
 
@@ -70,6 +73,23 @@ class SetBackend(Generic[S]):
 
     def equals(self, a: S, b: S) -> bool:
         raise NotImplementedError
+
+    # -- fused operations --------------------------------------------------
+    #
+    # The equation hot paths compute ``(a ∪ b) − c`` (the accumulated-kill
+    # base) and ``(a − b) ∪ c`` (the classical Out) constantly.  The
+    # derived forms below are correct for every backend; backends whose
+    # values carry per-call overhead (NumPy array allocation, Python call
+    # dispatch) override them with single-pass implementations.  Both are
+    # pure like every other operation: fresh value out, arguments intact.
+
+    def union_difference(self, a: S, b: S, c: S) -> S:
+        """``(a ∪ b) − c`` in one call."""
+        return self.difference(self.union(a, b), c)
+
+    def difference_union(self, a: S, b: S, c: S) -> S:
+        """``(a − b) ∪ c`` in one call."""
+        return self.union(self.difference(a, b), c)
 
     # -- derived helpers -------------------------------------------------
 
@@ -101,6 +121,32 @@ class SetBackend(Generic[S]):
 
     def size(self, s: S) -> int:
         return len(self.to_frozenset(s))
+
+    # -- packed (bulk) conversion ----------------------------------------
+    #
+    # The dense region evaluator (:mod:`repro.dataflow.dense`) stacks many
+    # values into one 2-D ``uint64`` array; these convert one value to and
+    # from its packed row.  The generic forms route through frozensets and
+    # work for any backend; the bit-vector backends override them with
+    # direct word copies.
+
+    def to_words(self, s: S) -> np.ndarray:
+        """``s`` as a fresh ``(n_words,)`` array of packed ``uint64``."""
+        out = np.zeros(self.n_words, dtype=np.uint64)
+        for d in self.to_frozenset(s):
+            out[d.index >> 6] |= np.uint64(1) << np.uint64(d.index & 63)
+        return out
+
+    def from_words(self, words: np.ndarray) -> S:
+        """A backend value from a packed ``(n_words,)`` ``uint64`` row."""
+        out = []
+        for word_index, word in enumerate(words.tolist()):
+            base = word_index << 6
+            while word:
+                low = word & -word
+                out.append(self.universe[base + low.bit_length() - 1])
+                word ^= low
+        return self.from_defs(out)
 
 
 class FrozensetBackend(SetBackend[FrozenSet[Definition]]):
@@ -152,6 +198,12 @@ class IntBitsetBackend(SetBackend[int]):
     def difference(self, a: int, b: int) -> int:
         return a & ~b
 
+    def union_difference(self, a: int, b: int, c: int) -> int:
+        return (a | b) & ~c
+
+    def difference_union(self, a: int, b: int, c: int) -> int:
+        return (a & ~b) | c
+
     def equals(self, a: int, b: int) -> bool:
         return a == b
 
@@ -168,13 +220,17 @@ class IntBitsetBackend(SetBackend[int]):
     def size(self, s: int) -> int:
         return s.bit_count()
 
+    def to_words(self, s: int) -> np.ndarray:
+        return np.frombuffer(
+            s.to_bytes(self.n_words * 8, "little"), dtype=np.uint64
+        ).copy()
+
+    def from_words(self, words: np.ndarray) -> int:
+        return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+
 
 class NumpyBitsetBackend(SetBackend[np.ndarray]):
     name = "numpy"
-
-    def __init__(self, universe: Sequence[Definition]):
-        super().__init__(universe)
-        self.n_words = max(1, (len(self.universe) + 63) // 64)
 
     def empty(self) -> np.ndarray:
         return np.zeros(self.n_words, dtype=np.uint64)
@@ -194,6 +250,18 @@ class NumpyBitsetBackend(SetBackend[np.ndarray]):
     def difference(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a & ~b
 
+    def union_difference(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        # One fresh output buffer instead of the three temporaries the
+        # composed difference(union(a, b), c) allocates.
+        out = np.bitwise_or(a, b)
+        out &= ~c
+        return out
+
+    def difference_union(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        out = np.bitwise_and(a, ~b)
+        out |= c
+        return out
+
     def equals(self, a: np.ndarray, b: np.ndarray) -> bool:
         return bool(np.array_equal(a, b))
 
@@ -211,6 +279,12 @@ class NumpyBitsetBackend(SetBackend[np.ndarray]):
         # Word-wise popcount; np.unpackbits would allocate 8 bytes per bit
         # on every call.
         return sum(int(w).bit_count() for w in s.tolist())
+
+    def to_words(self, s: np.ndarray) -> np.ndarray:
+        return np.array(s, dtype=np.uint64, copy=True)
+
+    def from_words(self, words: np.ndarray) -> np.ndarray:
+        return np.array(words, dtype=np.uint64, copy=True)
 
 
 class CountingBackend(SetBackend):
@@ -233,7 +307,8 @@ class CountingBackend(SetBackend):
         self.inner = inner
         self.universe = inner.universe
         self.name = inner.name  # transparent: results report the real backend
-        self._words = max(1, (len(inner.universe) + 63) // 64)
+        self.n_words = inner.n_words
+        self._words = inner.n_words
         metrics = get_metrics()
         self._ops = metrics.counter("bitset.ops")
         self._word_ops = metrics.counter("bitset.word_ops")
@@ -264,11 +339,70 @@ class CountingBackend(SetBackend):
         self._count()
         return self.inner.equals(a, b)
 
+    def union_difference(self, a, b, c):
+        # A fused call stands for two logical set operations in the
+        # paper-era cost model.
+        self._count()
+        self._count()
+        return self.inner.union_difference(a, b, c)
+
+    def difference_union(self, a, b, c):
+        self._count()
+        self._count()
+        return self.inner.difference_union(a, b, c)
+
     def to_frozenset(self, s):
         return self.inner.to_frozenset(s)
 
     def size(self, s) -> int:
         return self.inner.size(s)
+
+    def to_words(self, s):
+        return self.inner.to_words(s)
+
+    def from_words(self, words):
+        return self.inner.from_words(words)
+
+
+class BulkView:
+    """Packed 2-D view over a backend's values for bulk (dense) evaluation.
+
+    The dense region evaluator (:mod:`repro.dataflow.dense`) operates on
+    ``(rows, n_words)`` ``uint64`` matrices — one packed row per node.
+    ``BulkView`` is the bridge: it packs lists of scalar backend values
+    into such matrices and unpacks result rows back into backend values,
+    regardless of which scalar backend the caller chose.  Conversion
+    routes through :meth:`SetBackend.to_words` / ``from_words`` so the
+    bit-vector backends get direct word copies while ``FrozensetBackend``
+    still round-trips correctly.
+
+    The view never mutates scalar values (packing copies), so the scalar
+    API's purity contract is untouched; the *matrices* it returns are the
+    dense evaluator's private mutable state.
+    """
+
+    def __init__(self, backend: SetBackend):
+        # Unwrap the counting proxy: bulk sweeps are accounted for by the
+        # dense evaluator's own obs counters (one matrix op stands for
+        # thousands of scalar calls, so per-call counting would be both
+        # slow and misleading).
+        self.backend = backend.inner if isinstance(backend, CountingBackend) else backend
+        self.n_words = self.backend.n_words
+
+    def zeros(self, rows: int) -> np.ndarray:
+        """A fresh all-empty ``(rows, n_words)`` packed matrix."""
+        return np.zeros((rows, self.n_words), dtype=np.uint64)
+
+    def pack(self, values: Iterable) -> np.ndarray:
+        """Stack scalar backend values into a packed matrix, row per value."""
+        rows = [self.backend.to_words(v) for v in values]
+        if not rows:
+            return self.zeros(0)
+        return np.stack(rows)
+
+    def unpack_row(self, matrix: np.ndarray, row: int):
+        """The scalar backend value stored in ``matrix[row]``."""
+        return self.backend.from_words(matrix[row])
 
 
 #: Registry used by user-facing ``backend=`` parameters.

@@ -93,6 +93,13 @@ class SolveStats:
     there, so :meth:`as_dict` (and hence ``repro stats`` rendering and
     span annotations) omits ``passes``/``changing_passes`` instead of
     reporting a misleading ``0``.
+
+    ``dense_regions`` / ``scalar_regions`` count per-region dispatch
+    decisions when the scc engine runs with a
+    :class:`~repro.dataflow.dense.DenseConfig`: cyclic regions solved by
+    the vectorized evaluator vs. routed to the scalar fallback.  Both
+    stay 0 (and out of :meth:`as_dict`) when dense solving was not
+    requested, so existing stats records are unchanged.
     """
 
     order: str = ""
@@ -104,6 +111,8 @@ class SolveStats:
     snapshots: List[object] = field(default_factory=list)
     span: Optional[object] = None
     sweepless: bool = False
+    dense_regions: int = 0
+    scalar_regions: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {"order": self.order}
@@ -115,6 +124,9 @@ class SolveStats:
             changed_updates=self.changed_updates,
             converged=self.converged,
         )
+        if self.dense_regions or self.scalar_regions:
+            record["dense_regions"] = self.dense_regions
+            record["scalar_regions"] = self.scalar_regions
         return record
 
 

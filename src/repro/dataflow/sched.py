@@ -59,11 +59,22 @@ fine with this solver (pinned by the chaos tests).
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TypeVar
+from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import get_metrics, get_tracer
 from .budget import NonConvergenceError, ResourceBudget, check_budget
+from .dense import (
+    DenseConfig,
+    RegionDiverged,
+    RegionSolution,
+    apply_region_solution,
+    build_region_program,
+    dense_profile,
+    run_region_program,
+    solve_region_payload,
+)
 from .framework import EquationSystem, SolveStats
 
 N = TypeVar("N")
@@ -277,6 +288,7 @@ def solve_scc(
     max_rounds: int = DEFAULT_MAX_REGION_ROUNDS,
     budget: Optional[ResourceBudget] = None,
     verify: bool = False,
+    dense: Optional[DenseConfig] = None,
 ) -> SolveStats:
     """Sparse fixpoint: evaluate dependence-graph regions in topological
     order, each to local convergence (see module docstring).
@@ -287,6 +299,18 @@ def solve_scc(
     and raises if anything still changes — a debugging/CI guard against a
     system whose ``dependents`` under-approximates its true reads (the
     extra sweep's updates are counted in ``stats.node_updates``).
+
+    ``dense`` (a :class:`~repro.dataflow.dense.DenseConfig`) routes
+    eligible cyclic regions through the vectorized region evaluator
+    (:mod:`repro.dataflow.dense`) — same fixpoints, byte-identical, with
+    per-region dispatch counted in ``stats.dense_regions`` /
+    ``stats.scalar_regions``.  With ``dense.workers > 1``, independent
+    dense regions at the same condensation depth are solved concurrently
+    on a process pool (wavefront scheduling): regions in one wave cannot
+    read each other's values (every dependence edge strictly increases
+    condensation depth), so the parallel solve is observationally
+    identical to the serial one.  Pooled regions are budget-charged at
+    the wave barrier (a deadline can overshoot by at most one wave).
 
     Like the worklist solver, the run has no notion of global sweeps:
     ``stats`` is marked ``sweepless`` and reports update counts only.
@@ -303,6 +327,8 @@ def solve_scc(
     else:
         priority = {n: i for i, n in enumerate(schedule.nodes)}
     phase_split = _phase_split(system)
+    dense_cfg = dense if dense is not None and dense.mode != "never" else None
+    profile = dense_profile(system) if dense_cfg is not None else None
 
     with tracer.span(
         "solve",
@@ -313,38 +339,24 @@ def solve_scc(
     ) as span:
         if tracer.enabled:
             stats.span = span
-        for region in schedule.regions:
-            if budget is not None:
-                check_budget(budget, stats, system)
-            if not region.cyclic:
-                node = region.nodes[0]
-                stats.node_updates += 1
-                if phase_split:
-                    # kill → flow (→ kill at joins): resolves the
-                    # intra-node variable ordering in one deterministic
-                    # micro-sequence; see module docstring.  This is one
-                    # evaluation of the node's equations — the same unit
-                    # of work ``update()`` (flow + kill) performs — so it
-                    # counts as one node update.
-                    changed = system.update_kill(node)
-                    changed |= system.update_flow(node)
-                    if getattr(node, "is_join", True):
-                        changed |= system.update_kill(node)
-                    if changed:
-                        stats.changed_updates += 1
-                else:
-                    if system.update(node):
-                        stats.changed_updates += 1
-                if budget is not None:
-                    budget.charge_updates()
-            elif phase_split:
-                _solve_region_stabilized(
-                    system, region, priority, stats, tracer, budget, max_passes, max_rounds
-                )
-            else:
-                _solve_region_worklist(
-                    system, region, schedule, priority, stats, budget, max_passes
-                )
+        ctx = _RegionContext(
+            system=system,
+            schedule=schedule,
+            priority=priority,
+            stats=stats,
+            tracer=tracer,
+            budget=budget,
+            max_passes=max_passes,
+            max_rounds=max_rounds,
+            phase_split=phase_split,
+            dense_cfg=dense_cfg,
+            profile=profile,
+        )
+        if profile is not None and dense_cfg.workers > 1:
+            _solve_waves(ctx)
+        else:
+            for region in schedule.regions:
+                _solve_one_region(ctx, region)
         if verify:
             for node in schedule.nodes:
                 stats.node_updates += 1
@@ -362,6 +374,214 @@ def solve_scc(
 
     _record_solver_metrics("scc", order_name, stats)
     return stats
+
+
+@dataclass
+class _RegionContext:
+    """Everything the per-region drivers share for one ``solve_scc`` run."""
+
+    system: object
+    schedule: Schedule
+    priority: Dict[object, int]
+    stats: SolveStats
+    tracer: object
+    budget: Optional[ResourceBudget]
+    max_passes: int
+    max_rounds: int
+    phase_split: bool
+    dense_cfg: Optional[DenseConfig]
+    profile: Optional[str]
+
+
+def _solve_one_region(ctx: _RegionContext, region: Region) -> None:
+    """Evaluate one region to local fixpoint: acyclic singletons directly,
+    cyclic regions via the dense evaluator when configured and eligible,
+    else the scalar stabilized/worklist drivers."""
+    system, stats, budget = ctx.system, ctx.stats, ctx.budget
+    if budget is not None:
+        check_budget(budget, stats, system)
+    if not region.cyclic:
+        node = region.nodes[0]
+        stats.node_updates += 1
+        if ctx.phase_split:
+            # kill → flow (→ kill at joins): resolves the
+            # intra-node variable ordering in one deterministic
+            # micro-sequence; see module docstring.  This is one
+            # evaluation of the node's equations — the same unit
+            # of work ``update()`` (flow + kill) performs — so it
+            # counts as one node update.
+            changed = system.update_kill(node)
+            changed |= system.update_flow(node)
+            if getattr(node, "is_join", True):
+                changed |= system.update_kill(node)
+            if changed:
+                stats.changed_updates += 1
+        else:
+            if system.update(node):
+                stats.changed_updates += 1
+        if budget is not None:
+            budget.charge_updates()
+        return
+    if ctx.dense_cfg is not None:
+        built = _dense_region_build(ctx, region)
+        if built is not None:
+            rnodes, prog = built
+            _run_dense_region(ctx, region, rnodes, prog)
+            return
+        stats.scalar_regions += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("solve.dense.scalar_regions")
+    if ctx.phase_split:
+        _solve_region_stabilized(
+            system,
+            region,
+            ctx.priority,
+            stats,
+            ctx.tracer,
+            budget,
+            ctx.max_passes,
+            ctx.max_rounds,
+        )
+    else:
+        _solve_region_worklist(
+            system, region, ctx.schedule, ctx.priority, stats, budget, ctx.max_passes
+        )
+
+
+def _dense_region_build(ctx: _RegionContext, region: Region):
+    """Compile ``region`` for dense evaluation, or None for the scalar
+    fallback (unsupported system, or an auto-mode threshold says the
+    matrix formulation won't pay)."""
+    if ctx.profile is None:
+        return None
+    cfg = ctx.dense_cfg
+    auto = cfg.mode == "auto"
+    n = len(region.nodes)
+    words = getattr(ctx.system.ops, "n_words", 1)
+    if auto and (n < cfg.min_nodes or n * words < cfg.min_cells):
+        return None
+    rnodes = sorted(region.nodes, key=lambda nd: ctx.priority.get(nd, 0))
+    prog = build_region_program(ctx.system, rnodes, ctx.profile)
+    if auto and prog.width < cfg.min_width:
+        return None
+    return rnodes, prog
+
+
+def _run_dense_region(ctx: _RegionContext, region: Region, rnodes, prog) -> None:
+    """Solve one compiled region in-process, budget-charged per sweep
+    exactly like the scalar sweep loops."""
+    system, stats, budget = ctx.system, ctx.stats, ctx.budget
+
+    def on_sweep(rows: int) -> None:
+        if budget is not None:
+            budget.charge_pass()
+            budget.charge_updates(rows)
+            check_budget(budget, stats, system)
+
+    with ctx.tracer.span(
+        "dense-region", index=region.index, nodes=len(rnodes), words=prog.n_words
+    ) as span:
+        try:
+            sol = run_region_program(
+                prog, ctx.max_passes, ctx.max_rounds, on_sweep=on_sweep
+            )
+        except RegionDiverged as exc:
+            raise NonConvergenceError(
+                stats, reason=str(exc), snapshot=system.snapshot()
+            ) from None
+        apply_region_solution(system, rnodes, sol)
+        if ctx.tracer.enabled:
+            span.annotate(sweeps=sol.sweeps, rounds=sol.rounds, cycle=sol.cycle)
+    _account_dense(stats, sol)
+
+
+def _account_dense(stats: SolveStats, sol: RegionSolution) -> None:
+    stats.node_updates += sol.node_updates
+    stats.changed_updates += sol.changed_updates
+    stats.dense_regions += 1
+    if sol.cycle and not stats.order.endswith("+cycle"):
+        stats.order += "+cycle"
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("solve.dense.regions")
+        metrics.inc("solve.dense.sweeps", sol.sweeps)
+        metrics.inc("solve.dense.rounds", sol.rounds)
+
+
+def region_depths(schedule: Schedule) -> List[int]:
+    """Longest-path depth of each region in the condensation DAG.  Every
+    dependence edge crossing regions goes from a strictly shallower to a
+    strictly deeper region, so regions of equal depth are provably
+    independent — the wavefront invariant."""
+    depth = [0] * len(schedule.regions)
+    for region in schedule.regions:  # topological order
+        d = depth[region.index]
+        for n in region.nodes:
+            for m in schedule.dependents[n]:
+                t = schedule.region_of[m]
+                if t != region.index and depth[t] < d + 1:
+                    depth[t] = d + 1
+    return depth
+
+
+def _solve_waves(ctx: _RegionContext) -> None:
+    """Wavefront scheduling: group regions by condensation depth and,
+    within each wave, farm dense-compiled regions out to a process pool
+    while the scalar remainder runs in-process.  Wave order is a valid
+    topological order, so every region still sees only final upstream
+    values; pooled regions are budget-charged (and the budget checked)
+    at the wave barrier."""
+    stats, budget, system = ctx.stats, ctx.budget, ctx.system
+    depths = region_depths(ctx.schedule)
+    waves: Dict[int, List[Region]] = {}
+    for region in ctx.schedule.regions:
+        waves.setdefault(depths[region.index], []).append(region)
+    metrics = get_metrics()
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        for d in sorted(waves):
+            serial: List[Region] = []
+            jobs: List[Tuple[Region, list, object]] = []
+            for region in waves[d]:
+                if region.cyclic:
+                    built = _dense_region_build(ctx, region)
+                    if built is not None:
+                        jobs.append((region, built[0], built[1]))
+                        continue
+                serial.append(region)
+            if len(jobs) < 2:
+                # Nothing to overlap: run the whole wave in-process (the
+                # single dense job, if any, still solves densely).
+                for region in waves[d]:
+                    _solve_one_region(ctx, region)
+                continue
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=ctx.dense_cfg.workers)
+            futures = [
+                pool.submit(solve_region_payload, (prog, ctx.max_passes, ctx.max_rounds))
+                for (_, _, prog) in jobs
+            ]
+            if metrics.enabled:
+                metrics.inc("solve.dense.waves")
+                metrics.inc("solve.dense.pooled_regions", len(jobs))
+            for region in serial:
+                _solve_one_region(ctx, region)
+            for (region, rnodes, prog), fut in zip(jobs, futures):
+                try:
+                    sol = fut.result()
+                except RegionDiverged as exc:
+                    raise NonConvergenceError(
+                        stats, reason=str(exc), snapshot=system.snapshot()
+                    ) from None
+                apply_region_solution(system, rnodes, sol)
+                if budget is not None:
+                    budget.charge_region(sol.sweeps, sol.node_updates)
+                    check_budget(budget, stats, system)
+                _account_dense(stats, sol)
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
 
 def _solve_region_worklist(

@@ -411,11 +411,24 @@ def _meet_kill_states(system, states):
 #: Signature shared by the solvers, for parameterized tests/benchmarks.
 Solver = Callable[..., SolveStats]
 
+from .dense import DenseConfig  # noqa: E402
 from .sched import solve_scc  # noqa: E402  (after _record_solver_metrics exists)
+
+
+def solve_scc_dense(system, order=None, order_name: str = "scc-dense", **kwargs) -> SolveStats:
+    """:func:`~repro.dataflow.sched.solve_scc` with the dense region
+    evaluator forced on (``DenseConfig(mode="always")``) for every
+    eligible cyclic region — the ``"scc-dense"`` solver name.  Same
+    fixpoints as ``scc``, byte-identical; pass ``dense=`` explicitly to
+    tune thresholds or wavefront workers instead."""
+    kwargs.setdefault("dense", DenseConfig(mode="always"))
+    return solve_scc(system, order, order_name=order_name, **kwargs)
+
 
 SOLVERS = {
     "round-robin": solve_round_robin,
     "worklist": solve_worklist,
     "stabilized": solve_stabilized,
     "scc": solve_scc,
+    "scc-dense": solve_scc_dense,
 }

@@ -131,7 +131,7 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
         changed |= not ops.equals(new_killin, self.ACCKillin[n])
         self.ACCKillin[n] = new_killin
 
-        base_kill = ops.difference(ops.union(new_killin, self._kill[n]), self._gen[n])
+        base_kill = ops.union_difference(new_killin, self._kill[n], self._gen[n])
 
         new_forkkill = base_kill if n.is_fork else ops.empty()
         changed |= not ops.equals(new_forkkill, self.ForkKill[n])
@@ -291,7 +291,9 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
         )
 
 
-def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool, budget=None):
+def run_solver(
+    system, graph, order: str, solver: str, snapshot_passes: bool, budget=None, dense=None
+):
     """Dispatch a reaching-definitions system to a solver.
 
     ``solver``:
@@ -307,10 +309,19 @@ def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool, bu
       (:func:`~repro.dataflow.sched.solve_scc`): acyclic regions once,
       cyclic regions stabilized locally; same fixpoints, far fewer
       updates on mostly-acyclic graphs.
+    * ``"scc-dense"`` — scc with the vectorized region evaluator forced
+      on for every eligible cyclic region (byte-identical fixpoints; see
+      :mod:`repro.dataflow.dense`).
 
     ``budget`` (a :class:`~repro.dataflow.budget.ResourceBudget`) guards
-    the run; see :mod:`repro.dataflow.budget`.
+    the run; see :mod:`repro.dataflow.budget`.  ``dense`` (a
+    :class:`~repro.dataflow.dense.DenseConfig`) tunes dense-region
+    dispatch for the scc engines — with ``solver="scc"`` it opts cyclic
+    regions into dense solving under its thresholds; with
+    ``"scc-dense"`` it overrides the forced-on default (e.g. to set
+    ``workers``).
     """
+    from ..dataflow.dense import DenseConfig
     from ..dataflow.sched import solve_scc
     from ..dataflow.solver import solve_stabilized
 
@@ -322,13 +333,17 @@ def run_solver(system, graph, order: str, solver: str, snapshot_passes: bool, bu
                 "use solver='round-robin' for that"
             )
         return solve_stabilized(system, nodes, order_name=order, budget=budget)
-    if solver == "scc":
+    if solver in ("scc", "scc-dense"):
         if snapshot_passes:
             raise ValueError(
                 "snapshot_passes records per-sweep iterates, but the scc "
                 "solver has no global sweeps; use solver='round-robin'"
             )
-        return solve_scc(system, nodes, order_name=f"scc/{order}", budget=budget)
+        if solver == "scc-dense" and dense is None:
+            dense = DenseConfig(mode="always")
+        return solve_scc(
+            system, nodes, order_name=f"{solver}/{order}", budget=budget, dense=dense
+        )
     if solver == "round-robin":
         return solve_round_robin(
             system, nodes, order_name=order, snapshot_passes=snapshot_passes, budget=budget
@@ -346,12 +361,14 @@ def solve_parallel(
     snapshot_passes: bool = False,
     budget=None,
     record_provenance: bool = False,
+    dense=None,
 ) -> ReachingDefsResult:
     """Run the §5 parallel reaching-definitions system to fixpoint.
 
     ``record_provenance=True`` derives the justification graph after
     convergence and attaches it as ``result.provenance``
-    (:mod:`repro.provenance`)."""
+    (:mod:`repro.provenance`).  ``dense`` tunes dense-region dispatch for
+    the scc engines (see :func:`run_solver`)."""
     system = ParallelRDSystem(graph, backend=backend, record_provenance=record_provenance)
-    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
+    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget, dense=dense)
     return system.to_result(stats)

@@ -60,7 +60,7 @@ class SequentialRDSystem(EquationSystem[PFGNode]):
     def update(self, n: PFGNode) -> bool:
         ops = self.ops
         new_in = ops.union_all(self._out[p] for p in self.graph.control_preds(n))
-        new_out = ops.union(ops.difference(new_in, self._kill[n]), self._gen[n])
+        new_out = ops.difference_union(new_in, self._kill[n], self._gen[n])
         changed = not ops.equals(new_in, self._in[n]) or not ops.equals(new_out, self._out[n])
         self._in[n] = new_in
         self._out[n] = new_out
@@ -113,8 +113,13 @@ def solve_sequential(
     snapshot_passes: bool = False,
     budget=None,
     record_provenance: bool = False,
+    dense=None,
 ) -> ReachingDefsResult:
-    """Run sequential reaching definitions to fixpoint on ``graph``."""
+    """Run sequential reaching definitions to fixpoint on ``graph``.
+
+    ``dense`` (a :class:`~repro.dataflow.dense.DenseConfig`) tunes
+    dense-region dispatch for the scc engines; ``solver="scc-dense"``
+    forces the vectorized evaluator on for eligible cyclic regions."""
     system = SequentialRDSystem(graph, backend=backend, record_provenance=record_provenance)
     nodes = make_order(graph, order)
     if solver == "round-robin":
@@ -123,10 +128,15 @@ def solve_sequential(
         )
     elif solver == "worklist":
         stats = solve_worklist(system, nodes, order_name=f"worklist/{order}", budget=budget)
-    elif solver == "scc":
+    elif solver in ("scc", "scc-dense"):
+        from ..dataflow.dense import DenseConfig
         from ..dataflow.sched import solve_scc
 
-        stats = solve_scc(system, nodes, order_name=f"scc/{order}", budget=budget)
+        if solver == "scc-dense" and dense is None:
+            dense = DenseConfig(mode="always")
+        stats = solve_scc(
+            system, nodes, order_name=f"{solver}/{order}", budget=budget, dense=dense
+        )
     else:
         raise ValueError(f"unknown solver {solver!r}")
     return system.to_result(stats)

@@ -232,6 +232,7 @@ def solve_synch(
     filter_synch_pass: bool = True,
     budget=None,
     record_provenance: bool = False,
+    dense=None,
 ) -> ReachingDefsResult:
     """Run the §6 synchronized reaching-definitions system to fixpoint.
 
@@ -255,5 +256,5 @@ def solve_synch(
         filter_synch_pass=filter_synch_pass,
         record_provenance=record_provenance,
     )
-    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget)
+    stats = run_solver(system, graph, order, solver, snapshot_passes, budget=budget, dense=dense)
     return system.to_result(stats)

@@ -134,6 +134,7 @@ def analyze_with_degradation(
     solver: str = "stabilized",
     preserved: str = "approx",
     budget: Optional[ResourceBudget] = None,
+    dense=None,
 ) -> Tuple[ReachingDefsResult, Optional[DegradationRecord]]:
     """Analyze with the ladder above; always returns a sound result.
 
@@ -145,6 +146,10 @@ def analyze_with_degradation(
     2. synchronization lint reports a blocking issue
        (:data:`BLOCKING_SYNC_ISSUES`) → start at ``no-preserved``;
     3. any rung exhausting its (renewed) budget → next rung.
+
+    ``solver`` / ``dense`` select the fixpoint engine and dense-region
+    configuration exactly as in :func:`repro.analyze`; every precise rung
+    uses them (the terminal conservative rung is solver-independent).
     """
     from ..dataflow.cache import cached_build_pfg
 
@@ -224,6 +229,7 @@ def analyze_with_degradation(
             order=order,
             solver=solver,
             preserved="none",
+            dense=dense,
         )
         if result is not None:
             degraded = record(DegradationLevel.NO_PRESERVED)
@@ -236,6 +242,7 @@ def analyze_with_degradation(
             backend=backend,
             order=order,
             solver=solver,
+            dense=dense,
         )
         if result is not None:
             return result, None
@@ -248,6 +255,7 @@ def analyze_with_degradation(
             backend=backend,
             order=order,
             solver=seq_solver,
+            dense=dense,
         )
         if result is not None:
             return result, None

@@ -5,9 +5,11 @@ from .workloads import (
     WORKLOADS,
     chain,
     diamond_chain,
+    diamond_loop,
     fig3_repeated,
     loop_nest,
     nested_parallel,
+    par_diamond_loop,
     pardo_grid,
     random_mix,
     sync_pipeline,
@@ -20,9 +22,11 @@ __all__ = [
     "WORKLOADS",
     "chain",
     "diamond_chain",
+    "diamond_loop",
     "fig3_repeated",
     "loop_nest",
     "nested_parallel",
+    "par_diamond_loop",
     "pardo_grid",
     "random_mix",
     "sync_pipeline",

@@ -8,6 +8,10 @@ Deterministic program shapes that isolate one scaling dimension each:
   (``ParallelKill``/MHP scaling);
 * ``nested_parallel(d)``  — d-deep nested constructs (ForkKill nesting);
 * ``loop_nest(d, m)``     — d nested loops (back-edge iteration pressure);
+* ``diamond_loop(n)``     — n diamonds inside one loop (one large cyclic
+  SCC; the dense evaluator's sequential target shape);
+* ``par_diamond_loop(k, m)`` — m parallel constructs × k diamond sections
+  inside one loop (one large cyclic SCC through the §5 kill layer);
 * ``sync_pipeline(k)``    — k sections chained producer→consumer with
   events (SynchPass/Preserved scaling);
 * ``fig3_repeated(n)``    — n copies of the paper's Figure 3 body in one
@@ -160,6 +164,57 @@ def fig3_repeated(n_copies: int) -> ast.Program:
     return ast.Program(name=f"fig3x{n_copies}", events=events, body=body)
 
 
+def diamond_loop(n_diamonds: int) -> ast.Program:
+    """n if/else diamonds inside ONE loop.  Unlike ``diamond_chain``
+    (acyclic — every region is a singleton) the enclosing back edge puts
+    all the diamonds into a single large cyclic SCC: the dense region
+    evaluator's target shape for the sequential system."""
+    loop_body: list = []
+    for i in range(n_diamonds):
+        loop_body.append(
+            ast.If(
+                cond=ast.BinOp("<", ast.Var("x"), ast.IntLit(i)),
+                then_body=[ast.Assign(target="x", expr=ast.BinOp("+", ast.Var("x"), ast.IntLit(1)))],
+                else_body=[ast.Assign(target=f"y{i % 16}", expr=ast.Var("x"))],
+            )
+        )
+    body = [ast.Assign(target="x", expr=ast.IntLit(0)), ast.Loop(body=loop_body)]
+    body.append(ast.Assign(target="out", expr=ast.Var("x")))
+    return ast.Program(name=f"dloop{n_diamonds}", events=[], body=body)
+
+
+def par_diamond_loop(n_sections: int, n_constructs: int) -> ast.Program:
+    """``n_constructs`` parallel-sections constructs (each with
+    ``n_sections`` sections holding an if/else diamond) inside ONE loop:
+    a single cyclic SCC exercising the full §5 kill layer — the dense
+    evaluator's target shape for the parallel system."""
+    loop_body: list = []
+    for j in range(n_constructs):
+        sections = []
+        for i in range(n_sections):
+            sections.append(
+                ast.Section(
+                    name=f"S{j}_{i}",
+                    body=[
+                        ast.If(
+                            cond=ast.Var("c"),
+                            then_body=[ast.Assign(target=f"a{j}_{i}", expr=ast.Var("x"))],
+                            else_body=[ast.Assign(target=f"b{j}_{i}", expr=ast.Var(f"a{j}_{i}"))],
+                        )
+                    ],
+                )
+            )
+        loop_body.append(ast.ParallelSections(sections=sections))
+        loop_body.append(ast.Assign(target="x", expr=ast.Var(f"a{j}_0")))
+    body = [
+        ast.Assign(target="x", expr=ast.IntLit(0)),
+        ast.Assign(target="c", expr=ast.IntLit(0)),
+        ast.Loop(body=loop_body),
+        ast.Assign(target="out", expr=ast.Var("x")),
+    ]
+    return ast.Program(name=f"pdloop{n_sections}x{n_constructs}", events=[], body=body)
+
+
 def pardo_grid(n_constructs: int, body_stmts: int) -> ast.Program:
     """n sequential ``parallel do`` constructs, each with an m-statement
     body reading its private index — iteration-parallelism pressure for
@@ -195,6 +250,8 @@ WORKLOADS = {
     "wide": wide_parallel,
     "nested": nested_parallel,
     "loopnest": loop_nest,
+    "dloop": diamond_loop,
+    "pdloop": par_diamond_loop,
     "pipeline": sync_pipeline,
     "fig3x": fig3_repeated,
     "pardo": pardo_grid,

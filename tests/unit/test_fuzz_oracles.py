@@ -73,7 +73,7 @@ def test_clean_handwritten_programs_pass():
 def test_solver_agreement_mode():
     assert solver_agreement_mode(parse_program(SYNC_PROGRAM)) == "bounded"
     assert solver_agreement_mode(parse_program(SEQ_PROGRAM)) == "exact"
-    assert DETERMINISTIC_SOLVERS == {"stabilized", "scc"}
+    assert DETERMINISTIC_SOLVERS == {"stabilized", "scc", "scc-dense"}
 
 
 def test_unknown_oracle_name_raises():
@@ -152,6 +152,6 @@ def test_metamorphic_oracle_runs_all_mutators():
 
 def test_oracle_config_defaults():
     cfg = OracleConfig()
-    assert cfg.solvers == ("stabilized", "round-robin", "worklist", "scc")
+    assert cfg.solvers == ("stabilized", "round-robin", "worklist", "scc", "scc-dense")
     assert cfg.backend == "bitset"
     assert cfg.dynamic_runs == 3

@@ -87,7 +87,7 @@ def test_fig3_repeated_scales():
 def test_registry_complete():
     assert set(WORKLOADS) == {
         "chain", "diamond", "wide", "nested", "loopnest", "pipeline", "fig3x",
-        "pardo", "mix",
+        "pardo", "mix", "dloop", "pdloop",
     }
 
 
@@ -100,6 +100,8 @@ def test_registry_complete():
     ("pipeline", (3,)),
     ("fig3x", (1,)),
     ("mix", (0, 20)),
+    ("dloop", (4,)),
+    ("pdloop", (2, 2)),
 ])
 def test_all_workloads_analyzable(name, args):
     prog = WORKLOADS[name](*args)
