@@ -46,6 +46,7 @@ def analyze(
     cache: bool = True,
     record_provenance: bool = False,
     dense=None,
+    graph=None,
 ) -> ReachingDefsResult:
     """Analyze ``program`` with the most precise applicable equation system.
 
@@ -76,6 +77,11 @@ def analyze(
     graph once converged and attach it as ``result.provenance``
     (:mod:`repro.provenance` — the substrate of ``repro explain`` and
     ``repro races --explain``).  Off by default and off-path when off.
+
+    ``graph`` hands in an already-built PFG for ``program`` (it must be
+    *the* PFG of that exact AST) — used by callers that needed the graph
+    before deciding to run the full analysis (the incremental engine's
+    fallback path), so the build isn't paid twice when caching is off.
 
     ``cache=True`` (default) memoizes by program digest in
     :data:`repro.dataflow.cache.GLOBAL_CACHE`: a warm call on an
@@ -112,7 +118,8 @@ def analyze(
         )
         if hit is not MISSING:
             return hit
-    graph = cached_build_pfg(program) if cache else build_pfg(program)
+    if graph is None:
+        graph = cached_build_pfg(program) if cache else build_pfg(program)
     uses_sync = bool(graph.posts_of_event or graph.waits_of_event)
     uses_parallel = bool(graph.forks) or bool(graph.pardos)
     if uses_sync:

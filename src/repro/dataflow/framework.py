@@ -100,6 +100,12 @@ class SolveStats:
     the vectorized evaluator vs. routed to the scalar fallback.  Both
     stay 0 (and out of :meth:`as_dict`) when dense solving was not
     requested, so existing stats records are unchanged.
+
+    ``regions_reused`` / ``regions_solved`` are filled only by the
+    incremental re-analysis engine (:mod:`repro.incremental`): clean
+    condensation regions whose rows were installed verbatim from the
+    base solve vs. dirty-cone regions actually re-solved.  Both stay 0
+    (and out of :meth:`as_dict`) on ordinary from-scratch solves.
     """
 
     order: str = ""
@@ -113,6 +119,8 @@ class SolveStats:
     sweepless: bool = False
     dense_regions: int = 0
     scalar_regions: int = 0
+    regions_reused: int = 0
+    regions_solved: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {"order": self.order}
@@ -127,6 +135,9 @@ class SolveStats:
         if self.dense_regions or self.scalar_regions:
             record["dense_regions"] = self.dense_regions
             record["scalar_regions"] = self.scalar_regions
+        if self.regions_reused or self.regions_solved:
+            record["regions_reused"] = self.regions_reused
+            record["regions_solved"] = self.regions_solved
         return record
 
 

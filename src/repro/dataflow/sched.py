@@ -61,7 +61,7 @@ from __future__ import annotations
 import heapq
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import AbstractSet, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import get_metrics, get_tracer
 from .budget import NonConvergenceError, ResourceBudget, check_budget
@@ -248,14 +248,23 @@ def _phase_split(system) -> bool:
     )
 
 
-def _region_snapshot(system, names):
-    """``system.snapshot()`` restricted to the region's node names —
-    frozenset-valued, so equality is well-defined for every backend."""
-    snap = system.snapshot()
-    return {
-        slot: {name: values[name] for name in names if name in values}
-        for slot, values in snap.items()
-    }
+def _region_snapshot(system, rnodes):
+    """``system.snapshot()`` restricted to the region's nodes —
+    frozenset-valued, so equality is well-defined for every backend.
+
+    Restriction happens *before* materialization where the system
+    supports it: a full-graph snapshot per convergence round is
+    O(|graph| * |defs|) and dominated wall clock on wide multi-region
+    programs, where each region only ever compares its own rows."""
+    try:
+        return system.snapshot(nodes=rnodes)
+    except TypeError:  # system without restricted-snapshot support
+        snap = system.snapshot()
+        names = {getattr(n, "name", n) for n in rnodes}
+        return {
+            slot: {name: value for name, value in values.items() if name in names}
+            for slot, values in snap.items()
+        }
 
 
 def _restrict_kill_state(state, nodes):
@@ -289,6 +298,8 @@ def solve_scc(
     budget: Optional[ResourceBudget] = None,
     verify: bool = False,
     dense: Optional[DenseConfig] = None,
+    skip_regions: Optional[AbstractSet[int]] = None,
+    seed: Optional[Callable[[], None]] = None,
 ) -> SolveStats:
     """Sparse fixpoint: evaluate dependence-graph regions in topological
     order, each to local convergence (see module docstring).
@@ -312,6 +323,17 @@ def solve_scc(
     identical to the serial one.  Pooled regions are budget-charged at
     the wave barrier (a deadline can overshoot by at most one wave).
 
+    ``skip_regions`` / ``seed`` are the incremental re-analysis hooks
+    (:mod:`repro.incremental`): after ``initialize()`` the ``seed``
+    callback installs retained rows for the skipped (clean) regions, and
+    every region whose index is in ``skip_regions`` is then excluded
+    from evaluation — both the serial loop and the wavefront scheduler
+    honour the skip set.  Soundness is the caller's obligation: a
+    skipped region's seeded values must already be its region-local
+    least fixpoint and every dependence *into* a solved region must come
+    from a seeded or earlier-solved region.  Skipped/solved counts land
+    in ``stats.regions_reused`` / ``stats.regions_solved``.
+
     Like the worklist solver, the run has no notion of global sweeps:
     ``stats`` is marked ``sweepless`` and reports update counts only.
     """
@@ -320,6 +342,8 @@ def solve_scc(
     if budget is not None:
         budget.start()
     system.initialize()
+    if seed is not None:
+        seed()
     stats = SolveStats(order=order_name, sweepless=True)
     priority: Dict[object, int]
     if order is not None:
@@ -351,12 +375,20 @@ def solve_scc(
             phase_split=phase_split,
             dense_cfg=dense_cfg,
             profile=profile,
+            skip_regions=skip_regions,
         )
         if profile is not None and dense_cfg.workers > 1:
             _solve_waves(ctx)
         else:
             for region in schedule.regions:
+                if skip_regions is not None and region.index in skip_regions:
+                    continue
                 _solve_one_region(ctx, region)
+        if skip_regions is not None:
+            stats.regions_reused = sum(
+                1 for r in schedule.regions if r.index in skip_regions
+            )
+            stats.regions_solved = len(schedule.regions) - stats.regions_reused
         if verify:
             for node in schedule.nodes:
                 stats.node_updates += 1
@@ -391,6 +423,7 @@ class _RegionContext:
     phase_split: bool
     dense_cfg: Optional[DenseConfig]
     profile: Optional[str]
+    skip_regions: Optional[AbstractSet[int]] = None
 
 
 def _solve_one_region(ctx: _RegionContext, region: Region) -> None:
@@ -544,6 +577,8 @@ def _solve_waves(ctx: _RegionContext) -> None:
             serial: List[Region] = []
             jobs: List[Tuple[Region, list, object]] = []
             for region in waves[d]:
+                if ctx.skip_regions is not None and region.index in ctx.skip_regions:
+                    continue
                 if region.cyclic:
                     built = _dense_region_build(ctx, region)
                     if built is not None:
@@ -635,7 +670,6 @@ def _solve_region_stabilized(
     meet.  Upstream regions are final, downstream still ⊥, so the
     region-local least fixpoints compose into the global ones."""
     rnodes = sorted(region.nodes, key=lambda n: priority.get(n, 0))
-    names = [getattr(n, "name", n) for n in rnodes]
 
     def sweep(update, kind: str) -> None:
         passes = 0
@@ -665,14 +699,14 @@ def _solve_region_stabilized(
 
     with tracer.span("region", index=region.index, nodes=len(rnodes)):
         sweep(system.update_flow, "flow")
-        history = [_region_snapshot(system, names)]
+        history = [_region_snapshot(system, rnodes)]
         kill_history = [_restrict_kill_state(system.kill_state(), rnodes)]
         for round_index in range(max_rounds):
             system.reset_kill_nodes(rnodes)
             sweep(system.update_kill, "kill")
             system.reset_flow_nodes(rnodes)
             sweep(system.update_flow, "flow")
-            current = _region_snapshot(system, names)
+            current = _region_snapshot(system, rnodes)
             if current == history[-1]:
                 return
             if current in history:

@@ -368,3 +368,106 @@ def apply_mutators(
         if mutation is not None:
             out.append(mutation)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Edit scripts (NOT semantics-preserving)
+# ---------------------------------------------------------------------------
+
+#: The statement-level edit kinds :func:`random_edit_script` draws from.
+EDIT_KINDS: Tuple[str, ...] = ("insert", "delete", "replace")
+
+
+def random_edit_script(
+    program: ast.Program,
+    seed: int = 0,
+    n_edits: int = 1,
+    kinds: Tuple[str, ...] = EDIT_KINDS,
+) -> Optional[Mutation]:
+    """Apply ``n_edits`` random statement edits — the *version-to-version*
+    churn the incremental engine (:mod:`repro.incremental`) consumes.
+
+    Unlike the metamorphic transforms above these deliberately **change
+    the analysis answer**: an oracle using them must compare against a
+    from-scratch solve of the edited program, not against the original.
+    Edits are simple-statement-level so the program stays well-formed:
+
+    * ``insert`` — a new assignment at a random block position, to an
+      existing variable (kill-universe perturbation) or a fresh one
+      (adds a variable entirely);
+    * ``delete`` — remove a random ``Assign``/``Skip`` from a block that
+      keeps at least one statement (deleting a variable's only
+      definition removes it from every kill set);
+    * ``replace`` — rewrite an ``Assign`` in place: new right-hand side
+      (the def survives at the same site) or a new target variable (one
+      def removed, another added).
+
+    Deterministic per ``(program, seed, n_edits)``; returns ``None``
+    only when no edit kind is applicable (e.g. a program too small to
+    delete from with ``kinds=("delete",)``).
+    """
+    rng = random.Random(seed)
+    clone, smap = clone_program(program)
+    variables = _program_variables(clone)
+    taken = set(variables)
+    details: List[str] = []
+    for _ in range(n_edits):
+        applied = False
+        for kind in rng.sample(kinds, len(kinds)):
+            blocks = _blocks(clone)
+            if kind == "insert":
+                block = rng.choice(blocks)
+                at = rng.randrange(len(block) + 1)
+                if variables and rng.random() < 0.7:
+                    target = rng.choice(variables)
+                else:
+                    target = _fresh_names("ed", 1, taken)[0]
+                    variables.append(target)
+                if variables != [target] and rng.random() < 0.5:
+                    expr: ast.Expr = ast.Var(rng.choice([v for v in variables if v != target] or [target]))
+                else:
+                    expr = ast.IntLit(rng.randrange(1000))
+                block.insert(at, ast.Assign(target=target, expr=expr))
+                details.append(f"insert {target} @{at}")
+            elif kind == "delete":
+                candidates = [
+                    (block, i)
+                    for block in blocks
+                    if len(block) >= 2
+                    for i, s in enumerate(block)
+                    if isinstance(s, (ast.Assign, ast.Skip))
+                ]
+                if not candidates:
+                    continue
+                block, i = rng.choice(candidates)
+                gone = block.pop(i)
+                details.append(f"delete {type(gone).__name__.lower()} @{i}")
+            else:  # replace
+                candidates = [
+                    (block, i)
+                    for block in blocks
+                    for i, s in enumerate(block)
+                    if isinstance(s, ast.Assign)
+                ]
+                if not candidates:
+                    continue
+                block, i = rng.choice(candidates)
+                old = block[i]
+                if variables and rng.random() < 0.4:
+                    target = rng.choice(variables)  # possibly a retarget
+                else:
+                    target = old.target
+                block[i] = ast.Assign(target=target, expr=ast.IntLit(rng.randrange(1000)))
+                details.append(f"replace {old.target}->{target} @{i}")
+            applied = True
+            break
+        if not applied:
+            break
+    if not details:
+        return None
+    return Mutation(
+        name="edit-script",
+        program=clone,
+        stmt_map=smap,
+        detail="; ".join(details),
+    )

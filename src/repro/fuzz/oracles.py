@@ -34,6 +34,14 @@ mirroring how the paper's claims decompose:
     granularity (through :class:`repro.interp.trace.StmtLocationIndex`),
     so block renumbering under padding or reordering is immaterial.
 
+``incremental-equivalence`` (differential)
+    A random statement-level edit script (:func:`repro.fuzz.mutate.
+    random_edit_script`) is applied and the edited program is re-solved
+    *incrementally* off the original's retained rows
+    (:mod:`repro.incremental`); the sets must be byte-identical to a
+    from-scratch solve for every deterministic solver, seeded rows
+    re-verified as fixpoints.
+
 ``dynamic-selfcheck``
     The existing dynamic oracle (:func:`repro.robust.selfcheck.verify_result`):
     seeded interpreter runs must never observe a definition outside the
@@ -466,6 +474,66 @@ def provenance_chains(program: ast.Program, cfg: OracleConfig) -> List[OracleFai
     if scc.provenance.canonical() != prov.canonical():
         fail("scc justification graph differs from stabilized")
     return _trim(failures, total) if total > MAX_DETAILS else failures
+
+
+@register("incremental-equivalence")
+def incremental_equivalence(
+    program: ast.Program, cfg: OracleConfig
+) -> List[OracleFailure]:
+    """Differential check of the incremental engine (:mod:`repro.incremental`).
+
+    Apply a random edit script (insert/delete/replace statements, seeded
+    by ``cfg.mutation_seed``), then assert that re-solving the edited
+    program *incrementally off the original's retained rows* produces
+    exactly the sets a from-scratch solve produces — for every
+    deterministic solver.  The incremental run uses ``verify=True``, so
+    the scheduler additionally re-evaluates every seeded node and raises
+    if any retained row was not already a fixpoint (that raise surfaces
+    as an oracle crash → failure).  Fallback outcomes (sync programs,
+    structurally unmatched edits) take the full-solve path and must be
+    equal trivially — the oracle checks them anyway, pinning the
+    zero-wrong-answers contract of the fallback matrix.
+    """
+    from ..incremental import IncrementalBase, incremental_analyze
+    from .mutate import random_edit_script
+
+    edit = random_edit_script(program, seed=cfg.mutation_seed, n_edits=2)
+    if edit is None:
+        return []
+    failures: List[OracleFailure] = []
+    mismatches = 0
+    solvers = tuple(s for s in cfg.solvers if s in DETERMINISTIC_SOLVERS) or ("stabilized",)
+    for solver in solvers:
+        base_graph = build_pfg(program)
+        base = IncrementalBase(
+            program=program,
+            graph=base_graph,
+            result=_solve_precise(base_graph, cfg.backend, solver=solver),
+        )
+        outcome = incremental_analyze(
+            base, edit.program, backend=cfg.backend, solver=solver,
+            cache=False, verify=True,
+        )
+        scratch = _solve_precise(build_pfg(edit.program), cfg.backend, solver=solver)
+        slots: Tuple[str, ...] = ("In", "Out")
+        if scratch.acc_killin is not None and outcome.result.acc_killin is not None:
+            slots += ("ACCKillin", "ACCKillout", "ForkKill")
+        for node in scratch.graph.nodes:
+            for which in slots:
+                a = scratch.set_names(which, node.name)
+                b = outcome.result.set_names(which, node.name)
+                if a != b:
+                    mismatches += 1
+                    if len(failures) < MAX_DETAILS:
+                        failures.append(
+                            OracleFailure(
+                                "incremental-equivalence",
+                                f"{which}({node.name}) [{solver}, edit: {edit.detail}, "
+                                f"fallback={outcome.fallback}]: incremental "
+                                f"{sorted(b)} vs scratch {sorted(a)}",
+                            )
+                        )
+    return _trim(failures, mismatches)
 
 
 @register("dynamic-selfcheck")

@@ -261,10 +261,15 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
 
     # -- results ---------------------------------------------------------------
 
-    def snapshot(self):
+    def snapshot(self, nodes=None):
+        """Frozenset state per slot; ``nodes`` restricts to a subset —
+        region-scoped convergence checks must not pay for materializing
+        the whole graph every round."""
         ops = self.ops
+        if nodes is None:
+            nodes = self.graph.nodes
         return {
-            name: {n.name: ops.to_frozenset(slot[n]) for n in self.graph.nodes}
+            name: {n.name: ops.to_frozenset(slot[n]) for n in nodes}
             for name, slot in (
                 ("In", self.In),
                 ("Out", self.Out),
@@ -274,17 +279,31 @@ class ParallelRDSystem(EquationSystem[PFGNode]):
             )
         }
 
-    def to_result(self, stats: SolveStats) -> ReachingDefsResult:
+    def to_result(self, stats: SolveStats, known=None) -> ReachingDefsResult:
+        """``known`` maps slot name → {node: frozenset} for rows whose
+        final values are already materialized (the incremental engine's
+        seeded clean regions) — frozenset conversion is skipped there."""
         ops = self.ops
         nodes = self.graph.nodes
+        known = known or {}
+
+        def mat(slot_name, values):
+            pre = known.get(slot_name)
+            if not pre:
+                return {n: ops.to_frozenset(values[n]) for n in nodes}
+            return {
+                n: pre[n] if n in pre else ops.to_frozenset(values[n])
+                for n in nodes
+            }
+
         return ReachingDefsResult(
             graph=self.graph,
             info=self.info,
-            in_sets={n: ops.to_frozenset(self.In[n]) for n in nodes},
-            out_sets={n: ops.to_frozenset(self.Out[n]) for n in nodes},
-            acc_killin={n: ops.to_frozenset(self.ACCKillin[n]) for n in nodes},
-            acc_killout={n: ops.to_frozenset(self.ACCKillout[n]) for n in nodes},
-            fork_kill={n: ops.to_frozenset(self.ForkKill[n]) for n in nodes},
+            in_sets=mat("In", self.In),
+            out_sets=mat("Out", self.Out),
+            acc_killin=mat("ACCKillin", self.ACCKillin),
+            acc_killout=mat("ACCKillout", self.ACCKillout),
+            fork_kill=mat("ForkKill", self.ForkKill),
             stats=stats,
             system=self.system_name,
             provenance=self._provenance,

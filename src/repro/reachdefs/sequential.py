@@ -92,13 +92,27 @@ class SequentialRDSystem(EquationSystem[PFGNode]):
             "Out": {n.name: ops.to_frozenset(self._out[n]) for n in self.graph.nodes},
         }
 
-    def to_result(self, stats: SolveStats) -> ReachingDefsResult:
+    def to_result(self, stats: SolveStats, known=None) -> ReachingDefsResult:
+        """``known`` maps slot name → {node: frozenset} for rows whose
+        final values are already materialized (the incremental engine's
+        seeded clean regions) — frozenset conversion is skipped there."""
         ops = self.ops
+        known = known or {}
+
+        def mat(slot_name, values):
+            pre = known.get(slot_name)
+            if not pre:
+                return {n: ops.to_frozenset(values[n]) for n in self.graph.nodes}
+            return {
+                n: pre[n] if n in pre else ops.to_frozenset(values[n])
+                for n in self.graph.nodes
+            }
+
         return ReachingDefsResult(
             graph=self.graph,
             info=self.info,
-            in_sets={n: ops.to_frozenset(self._in[n]) for n in self.graph.nodes},
-            out_sets={n: ops.to_frozenset(self._out[n]) for n in self.graph.nodes},
+            in_sets=mat("_in", self._in),
+            out_sets=mat("_out", self._out),
             stats=stats,
             system="sequential",
             provenance=self._provenance,

@@ -206,10 +206,12 @@ class SynchRDSystem(ParallelRDSystem):
 
     # -- results --------------------------------------------------------------
 
-    def snapshot(self):
-        snap = super().snapshot()
+    def snapshot(self, nodes=None):
+        snap = super().snapshot(nodes)
         ops = self.ops
-        snap["SynchPass"] = {n.name: ops.to_frozenset(self.SynchPass[n]) for n in self.graph.nodes}
+        if nodes is None:
+            nodes = self.graph.nodes
+        snap["SynchPass"] = {n.name: ops.to_frozenset(self.SynchPass[n]) for n in nodes}
         return snap
 
     def to_result(self, stats: SolveStats) -> ReachingDefsResult:

@@ -9,8 +9,21 @@ Every RPC exchange is JSON over HTTP.  A request is::
      "params": {"source": "program ... end program",
                 "backend": "bitset", "preserved": "approx",
                 "solver": "stabilized", "max_passes": null,
-                "deadline_s": null},
+                "deadline_s": null,
+                "base_digest": null},    # delta form: see below
      "chaos": {"kill_attempts": 0, "delay_ms": 0}}   # honored only with --chaos
+
+The **delta form** sets ``params.base_digest`` to the ``digest`` field of
+a prior response: the worker then re-analyzes the new source
+*incrementally* off the retained base solve (:mod:`repro.incremental`),
+reusing every condensation region the edit provably did not perturb.
+Fallback — base digest unknown, structural mismatch, any
+synchronization involvement, or a degraded admission level — silently
+takes the ordinary full-analysis path; either way the response is
+terminal and carries an ``incremental`` provenance block
+(``{base_digest, regions_reused, regions_resolved, nodes_matched,
+nodes_dirty, fallback}``) in ``result``, so clients can observe reuse
+without a second request shape.
 
 and **every admitted request receives exactly one terminal response** —
 the zero-lost-requests invariant the chaos drills enforce::
@@ -134,6 +147,14 @@ def validate_request(obj: object) -> Dict[str, object]:
         not isinstance(deadline, (int, float)) or deadline <= 0
     ):
         raise ProtocolError("'params.deadline_s' must be a positive number")
+    base_digest = params.get("base_digest")
+    if base_digest is not None and (
+        not isinstance(base_digest, str) or not base_digest.strip()
+    ):
+        raise ProtocolError(
+            "'params.base_digest' must be a non-empty digest string "
+            "(the 'digest' field of a prior response)"
+        )
     chaos = obj.get("chaos")
     if chaos is not None and not isinstance(chaos, dict):
         raise ProtocolError("'chaos' must be an object")

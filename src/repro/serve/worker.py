@@ -117,6 +117,8 @@ def execute_request(
     preserved = str(params.get("preserved") or "approx")
     solver = str(params.get("solver") or "stabilized")
     max_passes = params.get("max_passes")
+    base_digest = params.get("base_digest")
+    base_digest = str(base_digest) if base_digest is not None else None
     budget = (
         ResourceBudget(deadline_s=deadline_s, max_passes=max_passes)
         if deadline_s is not None or max_passes is not None
@@ -133,6 +135,7 @@ def execute_request(
                 solver,
                 max_passes,
                 level,
+                base_digest,
             )
             cached = GLOBAL_CACHE.get(serve_key, MISSING)
             if cached is not MISSING:
@@ -140,7 +143,46 @@ def execute_request(
                 record["wall_ms"] = round((time.perf_counter() - t0) * 1000.0, 3)
                 record["counters"] = sess.metrics.export_state()["counters"]
                 return record
-            if level >= 2:
+            # Delta form: re-analyze incrementally off the retained base
+            # solve.  Only at full precision (level 0) — a degraded
+            # admission level changes the equation system or Preserved
+            # mode, and the retained rows answer a different question.
+            incr_stamp: Optional[Dict[str, object]] = None
+            incr_done = False
+            if base_digest is not None:
+                from ..incremental import incremental_analyze, lookup_base
+
+                state = lookup_base(base_digest) if level == 0 else None
+                if state is not None:
+                    outcome = incremental_analyze(
+                        state,
+                        program,
+                        backend=backend,
+                        solver=solver,
+                        preserved=preserved,
+                        budget=budget,
+                    )
+                    result = outcome.result
+                    anomalies = find_anomalies(result)
+                    sync_issues = lint_synchronization(result.graph)
+                    degradation = None
+                    incr_stamp = outcome.stamp()
+                    incr_done = True
+                else:
+                    # Base miss (eviction/cold worker) or degraded level:
+                    # full solve below, fallback counted and stamped.
+                    sess.metrics.inc("solve.incr.fallbacks")
+                    incr_stamp = {
+                        "base_digest": base_digest,
+                        "regions_reused": 0,
+                        "regions_resolved": 0,
+                        "nodes_matched": 0,
+                        "nodes_dirty": 0,
+                        "fallback": "degraded" if level > 0 else "base-miss",
+                    }
+            if incr_done:
+                pass
+            elif level >= 2:
                 graph = cached_build_pfg(program)
                 result = solve_conservative(graph, backend=backend)
                 anomalies = find_anomalies(result)
@@ -183,9 +225,18 @@ def execute_request(
                 "anomalies": len(anomalies),
                 "sync_issues": len(sync_issues),
             }
+            if incr_stamp is not None:
+                record["result"]["incremental"] = incr_stamp
             if degradation is not None:
                 record["status"] = "degraded"
                 record["degradation"] = degradation
+            elif level == 0 and not incr_done:
+                # Retain full-precision solves as incremental bases so a
+                # later delta request against this digest can reuse rows
+                # (the engine retains its own outputs).
+                from ..incremental import store_base
+
+                store_base(program, result)
             # Completed records are deterministic given (source, options,
             # level) — memoize so warm repeats skip the solver entirely.
             # Failures are NOT cached: a deadline-driven failure is not a

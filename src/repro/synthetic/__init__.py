@@ -10,6 +10,7 @@ from .workloads import (
     loop_nest,
     nested_parallel,
     par_diamond_loop,
+    par_loop_chain,
     pardo_grid,
     random_mix,
     sync_pipeline,
@@ -27,6 +28,7 @@ __all__ = [
     "loop_nest",
     "nested_parallel",
     "par_diamond_loop",
+    "par_loop_chain",
     "pardo_grid",
     "random_mix",
     "sync_pipeline",

@@ -215,6 +215,44 @@ def par_diamond_loop(n_sections: int, n_constructs: int) -> ast.Program:
     return ast.Program(name=f"pdloop{n_sections}x{n_constructs}", events=[], body=body)
 
 
+def par_loop_chain(n_loops: int, n_sections: int) -> ast.Program:
+    """``n_loops`` *separate* loops in sequence, each wrapping one wide
+    parallel-sections construct over its own variable family.  Where
+    ``par_diamond_loop`` fuses everything into ONE cyclic SCC, this shape
+    yields ``n_loops`` independent expensive cyclic regions through the
+    §5 kill layer — the incremental engine's target shape: a one-statement
+    edit in the last loop leaves the other ``n_loops - 1`` regions clean
+    and reusable, with solving (not graph build) dominating wall clock."""
+    body: list = []
+    for j in range(n_loops):
+        body.append(ast.Assign(target=f"x{j}", expr=ast.IntLit(0)))
+        body.append(ast.Assign(target=f"c{j}", expr=ast.IntLit(0)))
+        sections = []
+        for i in range(n_sections):
+            sections.append(
+                ast.Section(
+                    name=f"L{j}_{i}",
+                    body=[
+                        ast.If(
+                            cond=ast.Var(f"c{j}"),
+                            then_body=[ast.Assign(target=f"a{j}_{i}", expr=ast.Var(f"x{j}"))],
+                            else_body=[ast.Assign(target=f"b{j}_{i}", expr=ast.Var(f"a{j}_{i}"))],
+                        )
+                    ],
+                )
+            )
+        body.append(
+            ast.Loop(
+                body=[
+                    ast.ParallelSections(sections=sections),
+                    ast.Assign(target=f"x{j}", expr=ast.Var(f"a{j}_0")),
+                ]
+            )
+        )
+    body.append(ast.Assign(target="out", expr=ast.Var(f"x{n_loops - 1}")))
+    return ast.Program(name=f"plchain{n_loops}x{n_sections}", events=[], body=body)
+
+
 def pardo_grid(n_constructs: int, body_stmts: int) -> ast.Program:
     """n sequential ``parallel do`` constructs, each with an m-statement
     body reading its private index — iteration-parallelism pressure for
@@ -252,6 +290,7 @@ WORKLOADS = {
     "loopnest": loop_nest,
     "dloop": diamond_loop,
     "pdloop": par_diamond_loop,
+    "plchain": par_loop_chain,
     "pipeline": sync_pipeline,
     "fig3x": fig3_repeated,
     "pardo": pardo_grid,

@@ -257,15 +257,42 @@ def cmd_graph(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    result = _analyze(
-        _load(args.file),
-        backend=args.backend,
-        order=args.order,
-        solver=args.solver,
-        preserved=args.preserved,
-        budget=_budget_from(args),
-        dense=_dense_from(args),
-    )
+    incremental = None
+    if getattr(args, "base", None):
+        # Delta mode: solve BASE in full, then re-analyze FILE
+        # incrementally off its retained rows (repro.incremental).
+        from ..incremental import IncrementalBase, incremental_analyze
+
+        base_program = _load(args.base)
+        base_result = _analyze(
+            base_program,
+            backend=args.backend,
+            order=args.order,
+            solver=args.solver,
+            preserved=args.preserved,
+            dense=_dense_from(args),
+        )
+        outcome = incremental_analyze(
+            IncrementalBase.from_result(base_program, base_result),
+            _load(args.file),
+            backend=args.backend,
+            solver=args.solver,
+            preserved=args.preserved,
+            budget=_budget_from(args),
+            dense=_dense_from(args),
+        )
+        result = outcome.result
+        incremental = outcome.stamp()
+    else:
+        result = _analyze(
+            _load(args.file),
+            backend=args.backend,
+            order=args.order,
+            solver=args.solver,
+            preserved=args.preserved,
+            budget=_budget_from(args),
+            dense=_dense_from(args),
+        )
     if not result.stats.converged:  # pragma: no cover - solvers raise instead
         sys.stderr.write("error: solver did not converge\n")
         return 2
@@ -289,6 +316,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             sys.stdout.write(f"  {issue.format()}\n")
     sys.stdout.write("\n")
     sys.stdout.write(render_kv({k: str(v) for k, v in result.stats.as_dict().items()}, "solver"))
+    if incremental is not None:
+        sys.stdout.write("\n")
+        sys.stdout.write(
+            render_kv({k: str(v) for k, v in incremental.items()}, "incremental")
+        )
     return 0
 
 
@@ -639,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="run reaching-definitions analysis")
     p.add_argument("file")
+    p.add_argument(
+        "--base",
+        metavar="FILE",
+        help="prior program version: analyze FILE incrementally off BASE's "
+        "solve, reusing unperturbed SCC regions (repro.incremental)",
+    )
     p.add_argument("--backend", default="bitset", choices=["set", "bitset", "numpy"])
     p.add_argument("--order", default="document")
     p.add_argument("--preserved", default="approx", choices=["approx", "none"])

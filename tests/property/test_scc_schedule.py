@@ -3,11 +3,14 @@ as the sweep solvers — byte-identical sets across random generator
 programs, every paper figure, and chaos-shuffled sweep orders."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro import build_pfg
+from repro.dataflow.budget import NonConvergenceError
 from repro.dataflow.framework import FixpointDiverged
+from repro.lang.ast import Assign, BinOp, If, IntLit, Loop, ParallelDo, ParallelSections, Program, Section, Var
+from repro.lang.errors import SourcePos, SourceSpan
 from repro.paper import programs
 from repro.reachdefs import solve_parallel, solve_sequential, solve_synch
 from repro.robust import shuffled_orders
@@ -52,14 +55,203 @@ def test_scc_identical_to_chaotic_solvers_sequential(prog):
 
 @settings(max_examples=25, deadline=None)
 @given(prog=generated_programs(with_sync=False))
+@example(
+    prog=Program(name='gen186',
+     events=[],
+     body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+        end=SourcePos(line=0, column=0)),
+       label=None,
+       target='v0',
+       expr=IntLit(value=5)),
+      Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+        end=SourcePos(line=0, column=0)),
+       label=None,
+       target='v1',
+       expr=IntLit(value=6)),
+      Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+        end=SourcePos(line=0, column=0)),
+       label=None,
+       target='v1',
+       expr=Var(name='v0')),
+      ParallelSections(span=SourceSpan(start=SourcePos(line=0, column=0),
+        end=SourcePos(line=0, column=0)),
+       label=None,
+       sections=[Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+          end=SourcePos(line=0, column=0)),
+         label=None,
+         name='S0_0',
+         body=[ParallelSections(span=SourceSpan(start=SourcePos(line=0,
+             column=0),
+            end=SourcePos(line=0, column=0)),
+           label=None,
+           sections=[Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+              end=SourcePos(line=0, column=0)),
+             label=None,
+             name='S0_0',
+             body=[If(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               cond=BinOp(op='<', left=Var(name='c1'), right=IntLit(value=1)),
+               then_body=[Assign(span=SourceSpan(start=SourcePos(line=0,
+                   column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=Var(name='v1'))],
+               else_body=[],
+               end_label=None)]),
+            Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+              end=SourcePos(line=0, column=0)),
+             label=None,
+             name='S0_1',
+             body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               target='v0',
+               expr=BinOp(op='-',
+                left=BinOp(op='-',
+                 left=IntLit(value=0),
+                 right=IntLit(value=0)),
+                right=Var(name='v1'))),
+              Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               target='v0',
+               expr=IntLit(value=6))]),
+            Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+              end=SourcePos(line=0, column=0)),
+             label=None,
+             name='S0_2',
+             body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               target='v1',
+               expr=BinOp(op='-', left=IntLit(value=3), right=Var(name='v1'))),
+              Loop(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=IntLit(value=1)),
+                Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=IntLit(value=6)),
+                Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v1',
+                 expr=IntLit(value=4))],
+               end_label=None)])],
+           end_label=None),
+          Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+            end=SourcePos(line=0, column=0)),
+           label=None,
+           target='v0',
+           expr=BinOp(op='-', left=IntLit(value=6), right=IntLit(value=5))),
+          ParallelSections(span=SourceSpan(start=SourcePos(line=0, column=0),
+            end=SourcePos(line=0, column=0)),
+           label=None,
+           sections=[Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+              end=SourcePos(line=0, column=0)),
+             label=None,
+             name='S0_0',
+             body=[ParallelDo(span=SourceSpan(start=SourcePos(line=0,
+                 column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               index='idx0',
+               body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=BinOp(op='+',
+                  left=BinOp(op='-',
+                   left=IntLit(value=2),
+                   right=BinOp(op='-',
+                    left=IntLit(value=0),
+                    right=IntLit(value=0))),
+                  right=Var(name='idx0'))),
+                Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=IntLit(value=9))],
+               end_label=None),
+              Loop(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=IntLit(value=8)),
+                Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                  end=SourcePos(line=0, column=0)),
+                 label=None,
+                 target='v0',
+                 expr=IntLit(value=9))],
+               end_label=None)]),
+            Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+              end=SourcePos(line=0, column=0)),
+             label=None,
+             name='S0_1',
+             body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+                end=SourcePos(line=0, column=0)),
+               label=None,
+               target='v1',
+               expr=IntLit(value=1))])],
+           end_label=None)]),
+        Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+          end=SourcePos(line=0, column=0)),
+         label=None,
+         name='S0_1',
+         body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+            end=SourcePos(line=0, column=0)),
+           label=None,
+           target='v1',
+           expr=Var(name='v1'))]),
+        Section(span=SourceSpan(start=SourcePos(line=0, column=0),
+          end=SourcePos(line=0, column=0)),
+         label=None,
+         name='S0_2',
+         body=[Assign(span=SourceSpan(start=SourcePos(line=0, column=0),
+            end=SourcePos(line=0, column=0)),
+           label=None,
+           target='v0',
+           expr=Var(name='v1'))])],
+       end_label=None)],
+     span=SourceSpan(start=SourcePos(line=0, column=0),
+      end=SourcePos(line=0, column=0))),
+).via('discovered failure')
 def test_scc_identical_to_all_solvers_parallel(prog):
+    # Even sync-free, the §5 system's kill layer (ForkKill/ACCKillout
+    # read Out at joins) gives the equations multiple fixpoints once
+    # parallel constructs nest or sit inside loops: the pinned example
+    # above — found by this test — converges under plain `worklist` to
+    # a strictly larger fixpoint (an entry definition trapped past a
+    # killing join), and loop-wrapped variants can ping-pong to the
+    # update cap (see test_order_independence.py, where the same
+    # boundary is pinned for shuffled orders).  The contract is
+    # therefore split: the deterministic engines (stabilized, scc) must
+    # agree byte-for-byte — they all compute the least fixpoint — while
+    # the chaotic sweeps, *when* they converge, must sit pointwise
+    # above it.
     graph = build_pfg(prog)
     base = solve_parallel(graph, solver="stabilized")
     fast = solve_parallel(graph, solver="scc")
     assert _sets(fast) == _sets(base)
     for solver in ("round-robin", "worklist"):
-        chaotic = solve_parallel(graph, solver=solver)
-        assert _sets(chaotic) == _sets(fast), solver
+        try:
+            chaotic = solve_parallel(graph, solver=solver)
+        except (FixpointDiverged, NonConvergenceError):
+            continue  # honest outcome of the literal equations
+        for node in graph.nodes:
+            assert fast.in_sets[node] <= chaotic.in_sets[node], (solver, node.name)
+            assert fast.out_sets[node] <= chaotic.out_sets[node], (solver, node.name)
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,193 @@
+"""Regression: the incremental fallback contract.
+
+Every fallback condition — sync-touching edits, base-digest misses,
+structurally unmatched diffs, base-system mismatches, degraded admission
+levels — must produce a *full* solve with ``solve.incr.fallbacks``
+counted, and the serve delta form must stay terminal (zero-lost
+invariant) in every case.  A fallback is never an error: the response
+carries the ordinary result plus an ``incremental`` stamp naming the
+reason."""
+
+import pytest
+
+from repro import analyze, obs, parse_program
+from repro.incremental import (
+    FALLBACK_SYNC,
+    FALLBACK_SYSTEM,
+    FALLBACK_UNMATCHED,
+    IncrementalBase,
+    incremental_analyze,
+)
+from repro.lang import ast, pretty
+from repro.serve.protocol import ProtocolError, validate_request
+from repro.serve.worker import execute_request
+from repro.synthetic import workloads
+
+SYNC_SRC = """
+program synced
+  event e
+  x = 1
+  parallel sections
+    section a
+      x = 2
+      post(e)
+    section b
+      wait(e)
+      y = x
+  end parallel sections
+end program
+"""
+
+
+def _base_for(program, **kw):
+    return IncrementalBase.from_result(
+        program, analyze(program, cache=False, **kw)
+    )
+
+
+def _sets(result):
+    return {
+        (n.name, "In"): frozenset(d.name for d in result.In(n))
+        for n in result.graph.nodes
+    } | {
+        (n.name, "Out"): frozenset(d.name for d in result.Out(n))
+        for n in result.graph.nodes
+    }
+
+
+def test_sync_edit_falls_back_full_and_counted():
+    """An edit that introduces synchronization: the §6 system stays
+    whole-program, so the engine must full-solve with the fallback
+    counted — and the answer must equal a from-scratch solve."""
+    base = _base_for(workloads.diamond_chain(5))
+    edited = parse_program(SYNC_SRC)
+    with obs.session() as sess:
+        outcome = incremental_analyze(base, edited, cache=False)
+        counters = sess.metrics.export_state()["counters"]
+    assert outcome.fallback == FALLBACK_SYNC
+    assert outcome.regions_reused == 0
+    assert counters.get("solve.incr.fallbacks") == 1
+    assert _sets(outcome.result) == _sets(analyze(edited, cache=False))
+
+
+def test_sync_base_falls_back_even_for_sync_free_edit():
+    """Sync on the *base* side also disqualifies reuse: the retained rows
+    came from the non-monotone §6 system."""
+    base = _base_for(parse_program(SYNC_SRC))
+    edited = workloads.diamond_chain(5)
+    outcome = incremental_analyze(base, edited, cache=False)
+    assert outcome.fallback == FALLBACK_SYNC
+    assert _sets(outcome.result) == _sets(analyze(edited, cache=False))
+
+
+def test_structurally_unmatched_diff_falls_back():
+    """Diffing against a completely different program matches nothing —
+    full solve, counted, correct."""
+    base = _base_for(workloads.diamond_chain(6))
+    edited = workloads.chain(10)
+    with obs.session() as sess:
+        outcome = incremental_analyze(base, edited, cache=False)
+        counters = sess.metrics.export_state()["counters"]
+    assert outcome.fallback == FALLBACK_UNMATCHED
+    assert counters.get("solve.incr.fallbacks") == 1
+    assert _sets(outcome.result) == _sets(analyze(edited, cache=False))
+
+
+def test_system_family_change_falls_back():
+    """Base solved sequentially, edit introduces Parallel Sections: the
+    §5 kill layer has no retained rows to reuse."""
+    base = _base_for(workloads.diamond_chain(4))
+    edited = workloads.wide_parallel(3, 2)
+    outcome = incremental_analyze(base, edited, cache=False)
+    assert outcome.fallback in (FALLBACK_SYSTEM, FALLBACK_UNMATCHED)
+    assert _sets(outcome.result) == _sets(analyze(edited, cache=False))
+
+
+# ---------------------------------------------------------------------------
+# Serve delta form: zero-lost under every fallback
+# ---------------------------------------------------------------------------
+
+
+def test_serve_base_miss_is_terminal_full_solve():
+    program = workloads.diamond_chain(4)
+    record = execute_request(
+        {"source": pretty(program), "base_digest": "no-such-digest"}
+    )
+    assert record["status"] == "ok"
+    stamp = record["result"]["incremental"]
+    assert stamp["fallback"] == "base-miss"
+    assert stamp["regions_reused"] == 0
+    assert record["counters"].get("solve.incr.fallbacks") == 1
+
+
+def test_serve_delta_roundtrip_reuses():
+    v1 = workloads.diamond_chain(8)
+    first = execute_request({"source": pretty(v1)})
+    assert first["status"] == "ok"
+    v2 = workloads.diamond_chain(8)
+    v2.body[-1].then_body[0] = ast.Assign(target="x", expr=ast.IntLit(77))
+    second = execute_request(
+        {"source": pretty(v2), "base_digest": first["result"]["digest"]}
+    )
+    assert second["status"] == "ok"
+    stamp = second["result"]["incremental"]
+    assert stamp["fallback"] is None
+    assert stamp["regions_reused"] >= 1
+    # The delta response must agree with a plain response for the same source.
+    plain = execute_request({"source": pretty(v2)})
+    assert plain["result"]["anomalies"] == second["result"]["anomalies"]
+    assert plain["result"]["digest"] == second["result"]["digest"]
+
+
+def test_serve_delta_degraded_level_falls_back():
+    """Admission at a degraded level answers a different question — the
+    delta form must not reuse full-precision rows there."""
+    v1 = workloads.diamond_chain(4)
+    first = execute_request({"source": pretty(v1)})
+    record = execute_request(
+        {"source": pretty(v1), "base_digest": first["result"]["digest"]},
+        level=2,
+    )
+    assert record["status"] == "degraded"
+    assert record["result"]["incremental"]["fallback"] == "degraded"
+
+
+def test_serve_delta_parse_error_still_terminal():
+    record = execute_request(
+        {"source": "program broken ??? end program", "base_digest": "x" * 64}
+    )
+    assert record["status"] == "error"
+    assert record["error"]
+
+
+def test_serve_delta_sync_edit_terminal_and_identical():
+    v1 = workloads.diamond_chain(4)
+    first = execute_request({"source": pretty(v1)})
+    record = execute_request(
+        {"source": SYNC_SRC, "base_digest": first["result"]["digest"]}
+    )
+    assert record["status"] == "ok"
+    assert record["result"]["incremental"]["fallback"] == "sync"
+    plain = execute_request({"source": SYNC_SRC})
+    assert plain["result"]["digest"] == record["result"]["digest"]
+
+
+# ---------------------------------------------------------------------------
+# Protocol validation of the delta form
+# ---------------------------------------------------------------------------
+
+
+def test_protocol_accepts_base_digest():
+    validate_request(
+        {"id": 1, "params": {"source": "program p\nx = 1\nend program",
+                             "base_digest": "abc123"}}
+    )
+
+
+@pytest.mark.parametrize("bad", [7, "", "   ", ["d"], {"d": 1}])
+def test_protocol_rejects_bad_base_digest(bad):
+    with pytest.raises(ProtocolError):
+        validate_request(
+            {"id": 1, "params": {"source": "program p\nx = 1\nend program",
+                                 "base_digest": bad}}
+        )

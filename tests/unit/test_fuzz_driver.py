@@ -152,6 +152,7 @@ def test_run_case_record_shape():
         "pipeline-invariants",
         "metamorphic",
         "provenance-chains",
+        "incremental-equivalence",
     }
 
 

@@ -47,6 +47,7 @@ def test_registry_has_the_documented_oracles():
         "pipeline-invariants",
         "metamorphic",
         "provenance-chains",
+        "incremental-equivalence",
     }
     assert set(default_oracle_names(dynamic=True)) == set(default_oracle_names()) | {
         "dynamic-selfcheck"

@@ -87,7 +87,7 @@ def test_fig3_repeated_scales():
 def test_registry_complete():
     assert set(WORKLOADS) == {
         "chain", "diamond", "wide", "nested", "loopnest", "pipeline", "fig3x",
-        "pardo", "mix", "dloop", "pdloop",
+        "pardo", "mix", "dloop", "pdloop", "plchain",
     }
 
 
@@ -102,6 +102,7 @@ def test_registry_complete():
     ("mix", (0, 20)),
     ("dloop", (4,)),
     ("pdloop", (2, 2)),
+    ("plchain", (2, 3)),
 ])
 def test_all_workloads_analyzable(name, args):
     prog = WORKLOADS[name](*args)
